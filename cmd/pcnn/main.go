@@ -1,0 +1,138 @@
+// Command pcnn compiles and evaluates a CNN deployment with the P-CNN
+// framework: it infers the task's requirements, runs cross-platform
+// offline compilation, optionally attaches the accuracy tuner, and prints
+// the plan plus the scheduler comparison.
+//
+//	go run ./cmd/pcnn -net AlexNet -platform TX1 -task surveillance
+//	go run ./cmd/pcnn -net VGGNet -platform K20c -task tagging -plan
+//	go run ./cmd/pcnn -net AlexNet -platform TitanX -task age -tune
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"pcnn"
+	"pcnn/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pcnn: ")
+
+	var (
+		netName  = flag.String("net", "AlexNet", "network: AlexNet, VGGNet or GoogLeNet")
+		platform = flag.String("platform", "TX1", "platform: K20c, TitanX, GTX970m or TX1")
+		taskName = flag.String("task", "age", "task: age (interactive), surveillance (real-time) or tagging (background)")
+		fps      = flag.Float64("fps", 60, "frame rate for the surveillance task")
+		showPlan = flag.Bool("plan", false, "print the per-layer offline plan")
+		tune     = flag.Bool("tune", false, "train the scaled analogue and run accuracy tuning (slow)")
+		savePlan = flag.String("save", "", "write the compiled plan to this JSON file")
+		loadPlan = flag.String("load", "", "load a previously saved plan instead of compiling")
+	)
+	flag.Parse()
+
+	var task pcnn.Task
+	switch *taskName {
+	case "age":
+		task = pcnn.AgeDetection()
+	case "surveillance":
+		task = pcnn.VideoSurveillance(*fps)
+	case "tagging":
+		task = pcnn.ImageTagging()
+	default:
+		log.Fatalf("unknown task %q (want age, surveillance or tagging)", *taskName)
+	}
+
+	dev := pcnn.PlatformByName(*platform)
+	if dev == nil {
+		log.Fatalf("unknown platform %q", *platform)
+	}
+
+	fw, err := pcnn.New(*netName, dev, task)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *loadPlan != "" {
+		f, err := os.Open(*loadPlan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := pcnn.LoadPlan(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fw.Plan = p
+	} else if err := fw.CompileOffline(); err != nil {
+		log.Fatal(err)
+	}
+	plan := fw.Plan
+	if *savePlan != "" {
+		f, err := os.Create(*savePlan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := plan.Save(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("plan written to %s", *savePlan)
+	}
+
+	fmt.Printf("P-CNN offline compilation: %s on %s for %s (%s)\n",
+		*netName, dev.Name, task.Name, task.Class)
+	fmt.Printf("  batch size      %d\n", plan.Batch)
+	fmt.Printf("  predicted time  %.2f ms (budget %.2f ms, met=%v)\n",
+		plan.PredictedMS, task.TimeBudget(), plan.BudgetMet)
+
+	if *showPlan {
+		t := &report.Table{
+			Title:  "Per-layer schedule (optSM/optTLP from the resource model)",
+			Header: []string{"Layer", "GEMM MxNxK", "Kernel", "optSM", "optTLP", "Util", "pred(ms)"},
+		}
+		for _, l := range plan.Layers {
+			t.AddRow(l.Name, fmt.Sprintf("%dx%dx%d", l.GEMM.M, l.GEMM.N, l.GEMM.K),
+				l.Choice.String(), l.OptSM, l.OptTLP, l.Util, l.PredictedMS)
+		}
+		fmt.Println()
+		t.Render(os.Stdout)
+	}
+
+	if *tune {
+		log.Print("training scaled analogue and tuning (≈30s single-core)…")
+		lab := pcnn.NewLab(1)
+		net, err := lab.TrainNet(*netName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := fw.AttachScaled(net, lab.Test.X); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nAccuracy tuning: %d table entries, max predicted speedup %.2fx\n",
+			len(fw.Table.Entries), fw.Table.Entries[len(fw.Table.Entries)-1].Speedup)
+	}
+
+	outcomes, err := fw.Evaluate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := &report.Table{
+		Title:  "Scheduler comparison (Eq 15 SoC; deadline 'x' = violated)",
+		Header: []string{"Scheduler", "Batch", "Response(ms)", "J/image", "Entropy", "SoC_time", "SoC_acc", "SoC", "Deadline"},
+	}
+	for _, o := range outcomes {
+		mark := "ok"
+		if !o.MeetsDeadline {
+			mark = "x"
+		}
+		t.AddRow(o.Scheduler, o.Batch, o.ResponseMS, o.EnergyPerImageJ,
+			o.Entropy, o.SoCTime, o.SoCAccuracy, o.SoC, mark)
+	}
+	fmt.Println()
+	t.Render(os.Stdout)
+}

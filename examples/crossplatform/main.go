@@ -1,0 +1,59 @@
+// Cross-platform deployment — the paper's core pitch: one trained model,
+// four very different GPUs, no retraining. The example compiles each of
+// the three networks for each platform and shows how the optimal kernel,
+// batch and SM partition differ, plus how the analytical time model
+// tracks the cycle-level simulator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pcnn"
+)
+
+func main() {
+	log.SetFlags(0)
+	task := pcnn.AgeDetection()
+
+	for _, netName := range []string{"AlexNet", "GoogLeNet", "VGGNet"} {
+		net := pcnn.NetworkByName(netName)
+		fmt.Printf("%s (%.1f GFLOPs/image, %d conv layers):\n",
+			netName, net.TotalFLOPsPerImage()/1e9, net.NumConvLayers())
+		for _, dev := range pcnn.Platforms() {
+			plan, err := pcnn.Compile(net, dev, task)
+			if err != nil {
+				log.Fatal(err)
+			}
+			_, agg, err := plan.Simulate(true)
+			if err != nil {
+				log.Fatal(err)
+			}
+			// How much of the device the resource model released.
+			freed := plan.FreedSMs()
+			totalFreed := 0
+			for _, f := range freed {
+				totalFreed += f
+			}
+			avgFreed := float64(totalFreed) / float64(len(freed))
+			fmt.Printf("  %-8s predicted=%7.2fms simulated=%7.2fms (model/sim %.2f)  avg freed SMs %.1f/%d  budgetMet=%v\n",
+				dev.Name, plan.PredictedMS, agg.TimeMS, plan.PredictedMS/agg.TimeMS,
+				avgFreed, dev.NumSMs, plan.BudgetMet)
+		}
+		fmt.Println()
+	}
+
+	// The per-layer view on one platform: different layers want different
+	// kernels, TLP and SM counts — the paper's per-layer argument.
+	fmt.Println("per-layer plan, AlexNet on K20c (interactive, batch 1):")
+	plan, err := pcnn.Compile(pcnn.NetworkByName("AlexNet"), pcnn.PlatformByName("K20c"), task)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %-6s %-16s %-22s %6s %7s %6s\n", "layer", "GEMM", "kernel", "optSM", "optTLP", "Util")
+	for _, l := range plan.Layers {
+		fmt.Printf("  %-6s %-16s %-22s %6d %7d %6.2f\n",
+			l.Name, fmt.Sprintf("%dx%dx%d", l.GEMM.M, l.GEMM.N, l.GEMM.K),
+			l.Choice.String(), l.OptSM, l.OptTLP, l.Util)
+	}
+}

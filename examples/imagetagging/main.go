@@ -1,0 +1,57 @@
+// Image tagging — the paper's background task (Section V.C). The user
+// has left the app; only battery matters. P-CNN batches up to the point
+// where the last (worst-utilized) layer saturates the device — pushing
+// the batch further costs memory without gaining throughput — and still
+// shaves energy via accuracy tuning.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pcnn"
+)
+
+func main() {
+	log.SetFlags(0)
+	task := pcnn.ImageTagging()
+
+	// Batch selection is platform-dependent: each device saturates at a
+	// different batch size (Fig 8's red marks).
+	fmt.Println("background batch selection per platform (AlexNet):")
+	for _, dev := range pcnn.Platforms() {
+		plan, err := pcnn.Compile(pcnn.NetworkByName("AlexNet"), dev, task)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s batch=%-4d saturated=%-5v predicted=%.1fms/batch (%.2fms/image)\n",
+			dev.Name, plan.Batch, plan.Saturated, plan.PredictedMS, plan.PredictedMS/float64(plan.Batch))
+	}
+
+	// Energy per image across schedulers on the server platform.
+	log.Print("training scaled AlexNet for the energy comparison (≈15s)…")
+	lab := pcnn.NewLab(1)
+	net, err := lab.TrainNet("AlexNet")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fw, err := pcnn.New("AlexNet", pcnn.PlatformByName("K20c"), task)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fw.CompileOffline(); err != nil {
+		log.Fatal(err)
+	}
+	if err := fw.AttachScaled(net, lab.Test.X); err != nil {
+		log.Fatal(err)
+	}
+	outcomes, err := fw.Evaluate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nenergy per tagged image on K20c (lower is better battery life):")
+	for _, o := range outcomes {
+		fmt.Printf("  %-7s batch=%-4d %.4f J/image  (SoC %.3f)\n",
+			o.Scheduler, o.Batch, o.EnergyPerImageJ, o.SoC)
+	}
+}

@@ -1,0 +1,41 @@
+// Quickstart: deploy AlexNet on the Jetson TX1 for 60 FPS video
+// surveillance with one call, then inspect what P-CNN did. Training the
+// scaled analogue takes ~30s of single-core CPU.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pcnn"
+)
+
+func main() {
+	fw, err := pcnn.Deploy("AlexNet", "TX1", pcnn.VideoSurveillance(60))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Offline compilation: batch size, per-layer kernels, optSM/optTLP.
+	fmt.Printf("batch=%d predicted=%.1fms budgetMet=%v tuningLevels=%d\n",
+		fw.Plan.Batch, fw.Plan.PredictedMS, fw.Plan.BudgetMet, len(fw.Table.Entries))
+
+	// The P-CNN scheduler's outcome: it perforates conv layers just enough
+	// to meet the frame deadline that every baseline misses on TX1.
+	out, err := fw.Outcome()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P-CNN: response=%.1fms (deadline %.1fms) energy=%.3fJ/image SoC=%.3f deadlineMet=%v\n",
+		out.ResponseMS, fw.Task.Deadline(), out.EnergyPerImageJ, out.SoC, out.MeetsDeadline)
+
+	// Run real inference through the managed (perforated, monitored)
+	// network.
+	lab := pcnn.NewLab(1)
+	probs, entropy, err := fw.Infer(lab.Test.X)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inferred %d frames at tuning level %d, mean output entropy %.3f nats\n",
+		len(probs), fw.Manager.Level(), entropy)
+}

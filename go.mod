@@ -1,0 +1,3 @@
+module pcnn
+
+go 1.22

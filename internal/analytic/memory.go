@@ -1,0 +1,56 @@
+package analytic
+
+import (
+	"pcnn/internal/gpu"
+	"pcnn/internal/kernels"
+	"pcnn/internal/nn"
+)
+
+// Library memory models. Inference holds the weights plus two batched
+// ping-pong activation buffers; on top of that each library adds its own
+// workspace, which is what separates Table III's "ran" cells from its "x"
+// (out-of-memory) cells on the TX1:
+//
+//   - cuBLAS (Caffe): one im2col buffer, reused layer by layer and group
+//     by group — batch-independent.
+//   - cuDNN: a batched lowering workspace (a fraction of the batched
+//     im2col buffer — implicit GEMM reduces but does not eliminate it)
+//     plus a per-conv-layer algorithm workspace held for every layer.
+//     The per-layer term is what sinks the 57-conv-layer GoogLeNet at
+//     batch 64 while the 5-conv-layer AlexNet survives batch 128.
+//   - Nervana: no im2col, but padded/replicated feature-map buffers
+//     proportional to the batched activations.
+//
+// The constants are calibrated so the run/OOM pattern of Table III is
+// reproduced exactly (see EXPERIMENTS.md).
+const (
+	cudnnIm2colFrac    = 0.2
+	cudnnPerLayerBytes = 512 << 10 // per conv layer, per image
+	nervanaActFactor   = 1.7
+)
+
+// InferenceFootprintBytes estimates device memory needed to run inference
+// at the given batch size under a library's allocation policy.
+func InferenceFootprintBytes(net *nn.NetShape, batch int, lib kernels.Library) int64 {
+	if batch < 1 {
+		batch = 1
+	}
+	b := int64(batch)
+	base := net.WeightBytes() + 2*b*net.MaxLayerActivationBytesPerImage()
+	switch lib {
+	case kernels.CuBLAS:
+		return base + net.Im2ColWorkspaceBytesPerImage()
+	case kernels.CuDNN:
+		ws := int64(cudnnIm2colFrac*float64(net.Im2ColWorkspaceBytesPerImage())) * b
+		ws += int64(net.NumConvLayers()) * cudnnPerLayerBytes * b
+		return base + ws
+	default: // Nervana
+		return base + int64(nervanaActFactor*float64(b*net.MaxLayerActivationBytesPerImage()))
+	}
+}
+
+// FitsMemoryLib reports whether inference fits device memory under a
+// library's allocation policy — Table III's "x" detector.
+func FitsMemoryLib(net *nn.NetShape, batch int, dev *gpu.Device, lib kernels.Library) bool {
+	return InferenceFootprintBytes(net, batch, lib) <= dev.UsableMemBytes()
+}

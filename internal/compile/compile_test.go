@@ -1,0 +1,206 @@
+package compile
+
+import (
+	"math"
+	"testing"
+
+	"pcnn/internal/gpu"
+	"pcnn/internal/nn"
+	"pcnn/internal/satisfaction"
+)
+
+func TestCompileInteractiveBatchOne(t *testing.T) {
+	p, err := Compile(nn.AlexNetShape(), gpu.TitanX(), satisfaction.AgeDetection())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One selfie per request and a 100ms budget → batch 1.
+	if p.Batch != 1 {
+		t.Fatalf("interactive batch = %d, want 1", p.Batch)
+	}
+	if !p.BudgetMet {
+		t.Fatalf("AlexNet on TitanX should meet a 100ms budget (predicted %.2fms)", p.PredictedMS)
+	}
+	if len(p.Layers) != 8 {
+		t.Fatalf("planned %d layers, want 8", len(p.Layers))
+	}
+}
+
+func TestCompileBackgroundBatches(t *testing.T) {
+	p, err := Compile(nn.AlexNetShape(), gpu.K20c(), satisfaction.ImageTagging())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Batch <= 1 {
+		t.Fatalf("background batch = %d, want > 1", p.Batch)
+	}
+	if !p.BudgetMet {
+		t.Fatalf("background tasks always meet their (infinite) budget")
+	}
+}
+
+func TestCompileRealTimeOnTX1(t *testing.T) {
+	p, err := Compile(nn.AlexNetShape(), gpu.TX1(), satisfaction.VideoSurveillance(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Batch != 1 {
+		t.Fatalf("real-time batch on TX1 = %d, want 1 after Eq 13 shrinking", p.Batch)
+	}
+	// The paper's headline: plain AlexNet on TX1 misses the 16.7ms frame
+	// deadline even without batching — only accuracy tuning rescues it.
+	if p.BudgetMet {
+		t.Fatalf("AlexNet on TX1 should miss the 60FPS deadline (predicted %.2fms)", p.PredictedMS)
+	}
+}
+
+func TestPlanLayerFieldsCoherent(t *testing.T) {
+	dev := gpu.K20c()
+	p, err := Compile(nn.AlexNetShape(), dev, satisfaction.AgeDetection())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, l := range p.Layers {
+		if l.OptSM < 1 || l.OptSM > dev.NumSMs {
+			t.Errorf("%s: OptSM %d out of range", l.Name, l.OptSM)
+		}
+		if l.OptTLP < 1 {
+			t.Errorf("%s: OptTLP %d", l.Name, l.OptTLP)
+		}
+		if l.Util <= 0 || l.Util > 1 {
+			t.Errorf("%s: Util %v out of range", l.Name, l.Util)
+		}
+		if l.PredictedMS <= 0 {
+			t.Errorf("%s: predicted time %v", l.Name, l.PredictedMS)
+		}
+		total += l.PredictedMS
+	}
+	if math.Abs(total-p.PredictedMS) > 1e-9 {
+		t.Fatalf("per-layer times sum to %v, plan says %v", total, p.PredictedMS)
+	}
+}
+
+// The resource model frees SMs at batch 1 (underutilization) — the very
+// observation motivating P-CNN.
+func TestResourceModelFreesSMsAtBatchOne(t *testing.T) {
+	p, err := Compile(nn.AlexNetShape(), gpu.K20c(), satisfaction.AgeDetection())
+	if err != nil {
+		t.Fatal(err)
+	}
+	freed := p.FreedSMs()
+	anyFreed := false
+	for _, f := range freed {
+		if f > 0 {
+			anyFreed = true
+		}
+	}
+	if !anyFreed {
+		t.Fatalf("no SMs freed at batch 1 on a 13-SM device: %v", freed)
+	}
+}
+
+func TestSimulatePartitionedSavesEnergy(t *testing.T) {
+	p, err := Compile(nn.AlexNetShape(), gpu.K20c(), satisfaction.AgeDetection())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, base, err := p.Simulate(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, part, err := p.Simulate(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.EnergyJ >= base.EnergyJ {
+		t.Fatalf("partitioned energy %v ≥ baseline %v", part.EnergyJ, base.EnergyJ)
+	}
+	// Packing onto optSM SMs must not blow up runtime: the resource model
+	// preserves the invocation count.
+	if part.TimeMS > base.TimeMS*1.6 {
+		t.Fatalf("partitioned time %v vs baseline %v: too slow", part.TimeMS, base.TimeMS)
+	}
+}
+
+func TestTimeModelTracksSimulator(t *testing.T) {
+	for _, dev := range []*gpu.Device{gpu.K20c(), gpu.TX1()} {
+		p, err := Compile(nn.AlexNetShape(), dev, satisfaction.AgeDetection())
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, agg, err := p.Simulate(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := p.PredictedMS / agg.TimeMS
+		if ratio < 0.3 || ratio > 3 {
+			t.Errorf("%s: time model %0.2fms vs simulator %0.2fms (ratio %.2f) — model too loose",
+				dev.Name, p.PredictedMS, agg.TimeMS, ratio)
+		}
+	}
+}
+
+func TestPerforatedLaunchesFaster(t *testing.T) {
+	dev := gpu.TX1()
+	p, err := Compile(nn.AlexNetShape(), dev, satisfaction.VideoSurveillance(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := map[string]float64{}
+	for _, l := range p.Layers {
+		if l.GEMM.IsConv {
+			keep[l.Name] = 0.5
+		}
+	}
+	full, fullAgg, err := p.Simulate(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = full
+	launches, err := p.PerforatedLaunches(keep, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, perfAgg, err := dev.Run(launches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perfAgg.TimeMS >= fullAgg.TimeMS {
+		t.Fatalf("perforation did not speed up: %v vs %v", perfAgg.TimeMS, fullAgg.TimeMS)
+	}
+}
+
+func TestPerforatedLaunchesRejectsBadFraction(t *testing.T) {
+	p, err := Compile(nn.AlexNetShape(), gpu.TX1(), satisfaction.AgeDetection())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.PerforatedLaunches(map[string]float64{"CONV1": 0}, true); err == nil {
+		t.Fatal("keep fraction 0 accepted")
+	}
+}
+
+func TestCompileRejectsInvalidTask(t *testing.T) {
+	bad := satisfaction.Task{Name: "bad", Class: satisfaction.RealTime, TiMS: 0}
+	if _, err := Compile(nn.AlexNetShape(), gpu.TX1(), bad); err == nil {
+		t.Fatal("invalid task accepted")
+	}
+}
+
+func TestCompileAllNetsAllPlatforms(t *testing.T) {
+	for _, net := range nn.AllNetShapes() {
+		for _, dev := range gpu.AllPlatforms() {
+			for _, task := range satisfaction.EvaluationTasks() {
+				p, err := Compile(net, dev, task)
+				if err != nil {
+					t.Errorf("%s/%s/%s: %v", net.Name, dev.Name, task.Name, err)
+					continue
+				}
+				if p.Batch < 1 || len(p.Layers) == 0 {
+					t.Errorf("%s/%s/%s: degenerate plan %+v", net.Name, dev.Name, task.Name, p.Batch)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package compile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pcnn/internal/gpu"
+	"pcnn/internal/nn"
+	"pcnn/internal/satisfaction"
+)
+
+// Plan serialization: offline compilation runs once per (network, device,
+// task) and its artifact ships to the deployment, so the plan must
+// round-trip through a stable format. Devices and networks are stored by
+// name and re-resolved on load (the plan is only valid against the
+// platform it was compiled for).
+
+// planFileVersion guards the on-disk format.
+const planFileVersion = 1
+
+// planFile is the serialized form.
+type planFile struct {
+	Version     int               `json:"version"`
+	Net         string            `json:"net"`
+	Dev         string            `json:"device"`
+	Task        satisfaction.Task `json:"task"`
+	Batch       int               `json:"batch"`
+	Saturated   bool              `json:"saturated"`
+	BudgetMet   bool              `json:"budgetMet"`
+	PredictedMS float64           `json:"predictedMS"`
+	FreqFrac    float64           `json:"freqFrac,omitempty"`
+	Layers      []LayerPlan       `json:"layers"`
+}
+
+// Save writes the plan as JSON.
+func (p *Plan) Save(w io.Writer) error {
+	f := planFile{
+		Version:     planFileVersion,
+		Net:         p.Net.Name,
+		Dev:         p.Dev.Name,
+		Task:        p.Task,
+		Batch:       p.Batch,
+		Saturated:   p.Saturated,
+		BudgetMet:   p.BudgetMet,
+		PredictedMS: p.PredictedMS,
+		FreqFrac:    p.FreqFrac,
+		Layers:      p.Layers,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// LoadPlan reads a plan saved by Save, re-resolving the network shape and
+// device by name and re-deriving the DVFS-scaled device if the plan was
+// saved with a frequency fraction.
+func LoadPlan(r io.Reader) (*Plan, error) {
+	var f planFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("compile: decode plan: %w", err)
+	}
+	if f.Version != planFileVersion {
+		return nil, fmt.Errorf("compile: plan file version %d, want %d", f.Version, planFileVersion)
+	}
+	net := nn.NetShapeByName(f.Net)
+	if net == nil {
+		return nil, fmt.Errorf("compile: plan references unknown network %q", f.Net)
+	}
+	dev := gpu.PlatformByName(f.Dev)
+	if dev == nil {
+		return nil, fmt.Errorf("compile: plan references unknown device %q", f.Dev)
+	}
+	p := &Plan{
+		Net:         net,
+		Dev:         dev,
+		Task:        f.Task,
+		Batch:       f.Batch,
+		Saturated:   f.Saturated,
+		BudgetMet:   f.BudgetMet,
+		PredictedMS: f.PredictedMS,
+		FreqFrac:    f.FreqFrac,
+		Layers:      f.Layers,
+	}
+	if p.FreqFrac > 0 && p.FreqFrac < 1 {
+		scaled, err := dev.AtFrequency(p.FreqFrac)
+		if err != nil {
+			return nil, err
+		}
+		p.EffDev = scaled
+	}
+	if p.Batch < 1 || len(p.Layers) == 0 {
+		return nil, fmt.Errorf("compile: plan file is degenerate (batch %d, %d layers)", p.Batch, len(p.Layers))
+	}
+	return p, nil
+}

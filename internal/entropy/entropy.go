@@ -1,0 +1,44 @@
+// Package entropy implements the network-uncertainty metric the paper uses
+// in place of labelled accuracy during run-time tuning (Section II.B.4):
+// the Shannon entropy of the classifier's output distribution (Eq 2).
+// Lower entropy means a more confident — and, empirically (Table I), more
+// accurate — network.
+package entropy
+
+import "math"
+
+// Of returns the Shannon entropy −Σ p·ln(p) of a probability distribution
+// in nats. Zero-probability entries contribute nothing. Negative entries
+// are treated as zero; the distribution is not renormalized.
+func Of(p []float32) float64 {
+	var h float64
+	for _, v := range p {
+		if v > 0 {
+			f := float64(v)
+			h -= f * math.Log(f)
+		}
+	}
+	return h
+}
+
+// Mean returns the average entropy over a batch of distributions — the
+// paper's CNN_entropy for a test set.
+func Mean(batch [][]float32) float64 {
+	if len(batch) == 0 {
+		return 0
+	}
+	var s float64
+	for _, p := range batch {
+		s += Of(p)
+	}
+	return s / float64(len(batch))
+}
+
+// Max returns the maximum possible entropy of a k-class distribution,
+// ln(k); useful for normalizing uncertainty thresholds.
+func Max(k int) float64 {
+	if k <= 1 {
+		return 0
+	}
+	return math.Log(float64(k))
+}

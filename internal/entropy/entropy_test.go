@@ -1,0 +1,136 @@
+package entropy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOfUniform(t *testing.T) {
+	p := []float32{0.25, 0.25, 0.25, 0.25}
+	if got, want := Of(p), math.Log(4); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("Of(uniform4) = %v, want ln4 = %v", got, want)
+	}
+}
+
+func TestOfDelta(t *testing.T) {
+	if got := Of([]float32{1, 0, 0}); got != 0 {
+		t.Fatalf("Of(delta) = %v, want 0", got)
+	}
+}
+
+func TestOfPaperExample(t *testing.T) {
+	// Section II.B.4: H(0.4,0.4,0.2) > H(0.7,0.2,0.1).
+	p1 := Of([]float32{0.4, 0.4, 0.2})
+	p2 := Of([]float32{0.7, 0.2, 0.1})
+	if p1 <= p2 {
+		t.Fatalf("H(P1)=%v should exceed H(P2)=%v", p1, p2)
+	}
+}
+
+func TestOfIgnoresNonPositive(t *testing.T) {
+	withZeros := Of([]float32{0.5, 0, 0.5, 0})
+	withNeg := Of([]float32{0.5, -0.1, 0.5})
+	want := math.Log(2)
+	if math.Abs(withZeros-want) > 1e-6 || math.Abs(withNeg-want) > 1e-6 {
+		t.Fatalf("zeros/negatives mishandled: %v, %v, want %v", withZeros, withNeg, want)
+	}
+}
+
+func TestMean(t *testing.T) {
+	batch := [][]float32{
+		{1, 0},       // H = 0
+		{0.5, 0.5},   // H = ln 2
+		{0.25, 0.75}, // H ≈ 0.5623
+		{0.75, 0.25}, // same by symmetry
+	}
+	got := Mean(batch)
+	want := (0 + math.Log(2) + 2*0.5623351446188083) / 4
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("Mean = %v, want %v", got, want)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestMaxEntropy(t *testing.T) {
+	if got := Max(1); got != 0 {
+		t.Fatalf("Max(1) = %v, want 0", got)
+	}
+	if got := Max(0); got != 0 {
+		t.Fatalf("Max(0) = %v, want 0", got)
+	}
+	if got, want := Max(10), math.Log(10); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Max(10) = %v, want %v", got, want)
+	}
+}
+
+// Property: 0 ≤ H(p) ≤ ln(k) for any distribution over k classes, and
+// the uniform distribution maximizes it.
+func TestEntropyBoundsProperty(t *testing.T) {
+	f := func(seed int64, k8 uint8) bool {
+		k := int(k8%10) + 2
+		rng := rand.New(rand.NewSource(seed))
+		p := make([]float32, k)
+		var sum float32
+		for i := range p {
+			p[i] = rng.Float32()
+			sum += p[i]
+		}
+		if sum == 0 {
+			return true
+		}
+		for i := range p {
+			p[i] /= sum
+		}
+		h := Of(p)
+		return h >= -1e-9 && h <= Max(k)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sharpening a distribution (moving mass to the argmax) never
+// increases entropy — the monotonicity run-time tuning relies on.
+func TestSharpeningDecreasesEntropyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 5
+		p := make([]float32, k)
+		var sum float32
+		for i := range p {
+			p[i] = rng.Float32() + 1e-3
+			sum += p[i]
+		}
+		for i := range p {
+			p[i] /= sum
+		}
+		h0 := Of(p)
+		// Move 10% of every non-max entry onto the max entry.
+		maxIdx := 0
+		for i := range p {
+			if p[i] > p[maxIdx] {
+				maxIdx = i
+			}
+		}
+		var moved float32
+		for i := range p {
+			if i != maxIdx {
+				d := p[i] * 0.1
+				p[i] -= d
+				moved += d
+			}
+		}
+		p[maxIdx] += moved
+		return Of(p) <= h0+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

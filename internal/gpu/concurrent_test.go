@@ -1,0 +1,229 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAtFrequencyScaling(t *testing.T) {
+	d := K20c()
+	half, err := d.AtFrequency(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half.ClockMHz != d.ClockMHz/2 {
+		t.Fatalf("clock %v, want %v", half.ClockMHz, d.ClockMHz/2)
+	}
+	// Dynamic power scales cubically, static linearly.
+	if math.Abs(half.SMDynPowerW-d.SMDynPowerW/8) > 1e-9 {
+		t.Fatalf("dyn power %v, want %v", half.SMDynPowerW, d.SMDynPowerW/8)
+	}
+	if math.Abs(half.SMStaticPowerW-d.SMStaticPowerW/2) > 1e-9 {
+		t.Fatalf("static power %v, want %v", half.SMStaticPowerW, d.SMStaticPowerW/2)
+	}
+	if err := half.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtFrequencyRejectsBadFrac(t *testing.T) {
+	d := TX1()
+	for _, f := range []float64{0, -0.5, 1.5} {
+		if _, err := d.AtFrequency(f); err == nil {
+			t.Errorf("fraction %v accepted", f)
+		}
+	}
+}
+
+// A compute-bound kernel at half clock takes twice as long but burns less
+// energy — the Fig 3 imperceptible-region trade.
+func TestDVFSEnergyTimeTrade(t *testing.T) {
+	d := testDevice()
+	k := computeKernel(16)
+	full, err := d.Simulate(k, DefaultLaunch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := d.MustAtFrequency(0.5).Simulate(k, DefaultLaunch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slow.TimeMS-2*full.TimeMS)/full.TimeMS > 0.05 {
+		t.Fatalf("half-clock time %v, want ≈2× %v", slow.TimeMS, full.TimeMS)
+	}
+	if slow.EnergyJ >= full.EnergyJ {
+		t.Fatalf("half-clock energy %v not below full-clock %v", slow.EnergyJ, full.EnergyJ)
+	}
+}
+
+func TestSMOffsetWindow(t *testing.T) {
+	cfg := LaunchConfig{Policy: PrioritySM, SMOffset: 1, SMLimit: 2}
+	d := testDevice()
+	caps := cfg.residencyCaps(d, computeKernel(1))
+	if caps[0] != 0 || caps[1] == 0 || caps[2] == 0 || caps[3] != 0 {
+		t.Fatalf("caps = %v, want window [1,3)", caps)
+	}
+}
+
+func TestSimulateConcurrentDisjointWindows(t *testing.T) {
+	d := testDevice() // 4 SMs
+	fg := Launch{
+		Kernel: computeKernel(8),
+		Config: LaunchConfig{Policy: PrioritySM, SMLimit: 2, PowerGateIdle: true},
+	}
+	bg := Launch{
+		Kernel: Kernel{Name: "bg", GridSize: 8, BlockSize: 128, RegsPerThread: 32, FMAInsts: 500},
+		Config: LaunchConfig{Policy: PrioritySM, SMOffset: 2, SMLimit: 2, PowerGateIdle: true},
+	}
+	res, err := d.SimulateConcurrent([]Launch{fg, bg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerKernel) != 2 {
+		t.Fatalf("got %d kernel results", len(res.PerKernel))
+	}
+	// Each kernel stays inside its 2-SM window (PSM may pack onto fewer).
+	for i, r := range res.PerKernel {
+		if r.ActiveSMs < 1 || r.ActiveSMs > 2 {
+			t.Fatalf("kernel %d active SMs %d, want within its 2-SM window", i, r.ActiveSMs)
+		}
+	}
+	// With disjoint windows and no DRAM pressure, the foreground kernel
+	// runs exactly as fast as it would alone on 2 SMs.
+	alone, err := d.Simulate(fg.Kernel, fg.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.PerKernel[0].TimeMS-alone.TimeMS)/alone.TimeMS > 0.01 {
+		t.Fatalf("co-run foreground %vms vs alone %vms", res.PerKernel[0].TimeMS, alone.TimeMS)
+	}
+}
+
+func TestSimulateConcurrentSharesDRAM(t *testing.T) {
+	d := testDevice()
+	mem := func(name string, offset int) Launch {
+		return Launch{
+			Kernel: Kernel{Name: name, GridSize: 8, BlockSize: 128, FMAInsts: 1, GlobalBytes: 8192},
+			Config: LaunchConfig{Policy: PrioritySM, SMOffset: offset, SMLimit: 2},
+		}
+	}
+	solo, err := d.Simulate(mem("solo", 0).Kernel, mem("solo", 0).Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := d.SimulateConcurrent([]Launch{mem("a", 0), mem("b", 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two bandwidth-bound kernels halve each other's effective bandwidth.
+	ratio := co.PerKernel[0].TimeMS / solo.TimeMS
+	if ratio < 1.5 {
+		t.Fatalf("co-run slowdown %vx, want ≈2x for DRAM-bound kernels", ratio)
+	}
+}
+
+func TestSimulateConcurrentSingleMatchesSimulate(t *testing.T) {
+	d := testDevice()
+	l := Launch{Kernel: computeKernel(16), Config: DefaultLaunch()}
+	solo, err := d.Simulate(l.Kernel, l.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := d.SimulateConcurrent([]Launch{l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(co.PerKernel[0].Cycles-solo.Cycles) > 1 {
+		t.Fatalf("concurrent single-kernel %v cycles vs Simulate %v", co.PerKernel[0].Cycles, solo.Cycles)
+	}
+	if math.Abs(co.EnergyJ-solo.EnergyJ)/solo.EnergyJ > 0.01 {
+		t.Fatalf("energy %v vs %v", co.EnergyJ, solo.EnergyJ)
+	}
+}
+
+func TestSimulateConcurrentRejectsUnlaunchable(t *testing.T) {
+	d := testDevice()
+	bad := Launch{Kernel: Kernel{Name: "huge", GridSize: 1, BlockSize: 128, SharedMemPerBlock: 1 << 20}}
+	if _, err := d.SimulateConcurrent([]Launch{bad}); err == nil {
+		t.Fatal("unlaunchable co-run accepted")
+	}
+	if _, err := d.SimulateConcurrent(nil); err == nil {
+		t.Fatal("empty co-run accepted")
+	}
+}
+
+// The point of spatial multi-tasking (Section III.D.2): donating the SMs
+// the resource model freed lets a background kernel make progress *during*
+// the foreground kernel without slowing it — the pair overlaps instead of
+// queueing.
+func TestCoRunningOverlapsWork(t *testing.T) {
+	d := testDevice()
+	fg := Launch{Kernel: computeKernel(4), Config: LaunchConfig{Policy: PrioritySM, SMLimit: 2, TLPLimit: 2}}
+	bgKernel := Kernel{Name: "bg", GridSize: 16, BlockSize: 128, RegsPerThread: 32, FMAInsts: 1000}
+	bg := Launch{Kernel: bgKernel, Config: LaunchConfig{Policy: RoundRobin, SMOffset: 2, SMLimit: 2}}
+
+	co, err := d.SimulateConcurrent([]Launch{fg, bg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fgAlone, err := d.Simulate(fg.Kernel, fg.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bgAlone, err := d.Simulate(bg.Kernel, bg.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The foreground is untouched by the co-runner…
+	if co.PerKernel[0].TimeMS > fgAlone.TimeMS*1.05 {
+		t.Fatalf("co-running slowed the foreground: %v vs %v", co.PerKernel[0].TimeMS, fgAlone.TimeMS)
+	}
+	// …and the pair completes in max(fg, bg) rather than fg + bg: the
+	// background work rode along inside the foreground's window.
+	want := math.Max(fgAlone.TimeMS, bgAlone.TimeMS)
+	if co.TotalMS > want*1.05 {
+		t.Fatalf("co-run %vms, want ≈max(%v, %v)", co.TotalMS, fgAlone.TimeMS, bgAlone.TimeMS)
+	}
+	if co.TotalMS >= (fgAlone.TimeMS+bgAlone.TimeMS)*0.95 {
+		t.Fatalf("co-run %vms did not overlap the kernels (%v + %v)", co.TotalMS, fgAlone.TimeMS, bgAlone.TimeMS)
+	}
+}
+
+// Property: waterFillCaps never exceeds capacity or individual caps, and
+// fully uses capacity when demand allows.
+func TestWaterFillCapsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := uint64(seed)
+		next := func() float64 {
+			r = r*6364136223846793005 + 1442695040888963407
+			return float64((r>>33)%1000) / 100
+		}
+		n := int(uint64(seed)%8) + 1
+		caps := make([]float64, n)
+		var totalCap float64
+		for i := range caps {
+			caps[i] = next()
+			totalCap += caps[i]
+		}
+		capacity := next() * 2
+		shares := waterFillCaps(caps, capacity)
+		var sum float64
+		for i, s := range shares {
+			if s > caps[i]+1e-6 || s < 0 {
+				return false
+			}
+			sum += s
+		}
+		if sum > capacity+1e-6 {
+			return false
+		}
+		// Full utilization when demand exceeds supply is not guaranteed at
+		// exact boundaries, but within tolerance it is.
+		want := math.Min(totalCap, capacity)
+		return sum >= want-1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,339 @@
+package gpu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Result reports what one simulated kernel launch did.
+type Result struct {
+	Kernel         string
+	Cycles         float64 // core cycles from launch to last CTA retirement
+	TimeMS         float64
+	EnergyJ        float64
+	AvgPowerW      float64
+	ActiveSMs      int     // SMs that hosted at least one CTA
+	MaxResident    int     // peak CTAs resident device-wide
+	IssueUtil      float64 // time-averaged fraction of total issue bandwidth used
+	DRAMUtil       float64 // time-averaged fraction of DRAM bandwidth used
+	AchievedGFLOPs float64
+}
+
+// Launch pairs a kernel with its placement configuration.
+type Launch struct {
+	Kernel Kernel
+	Config LaunchConfig
+}
+
+// Aggregate sums a sequence of results.
+type Aggregate struct {
+	TimeMS    float64
+	EnergyJ   float64
+	AvgPowerW float64
+}
+
+// ctaState tracks one resident CTA's two work channels.
+type ctaState struct {
+	sm       int
+	remIssue float64 // thread-instructions left to issue
+	remMem   float64 // DRAM bytes left to transfer
+}
+
+const simEpsilon = 1e-9
+
+// ErrNoResidency is returned when a kernel's per-CTA resource demands
+// exceed what a single SM provides, so it can never launch.
+var ErrNoResidency = errors.New("gpu: kernel cannot be resident on any SM")
+
+// Simulate runs one kernel launch to completion on the device and returns
+// timing, utilization and energy. It is deterministic.
+func (d *Device) Simulate(k Kernel, cfg LaunchConfig) (Result, error) {
+	if err := d.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := k.Validate(); err != nil {
+		return Result{}, err
+	}
+	caps := cfg.residencyCaps(d, k)
+	totalSlots := 0
+	for _, c := range caps {
+		totalSlots += c
+	}
+	if totalSlots == 0 {
+		return Result{}, fmt.Errorf("%w: kernel %s (block %d threads, %d regs/thread, %dB shmem) on %s",
+			ErrNoResidency, k.Name, k.BlockSize, k.RegsPerThread, k.SharedMemPerBlock, d.Name)
+	}
+	res := Result{Kernel: k.Name}
+	if k.GridSize == 0 {
+		return res, nil
+	}
+
+	issuePerCTA := k.issueWorkPerCTA()
+	memPerCTA := k.memWorkPerCTA()
+	ctaIssueCap := float64(k.BlockSize) * d.PerThreadIPC
+	// Each lane can request up to 4 bytes per cycle; this bounds how much
+	// DRAM bandwidth one SM's load/store units can consume.
+	smMemCap := float64(d.CoresPerSM) * 4
+
+	resident := make([]int, d.NumSMs)
+	everUsed := make([]bool, d.NumSMs)
+	var ctas []*ctaState
+	pending := k.GridSize
+
+	dispatch := func() {
+		for pending > 0 {
+			sm := cfg.Policy.pickSM(resident, caps)
+			if sm < 0 {
+				return
+			}
+			resident[sm]++
+			everUsed[sm] = true
+			pending--
+			ctas = append(ctas, &ctaState{sm: sm, remIssue: issuePerCTA, remMem: memPerCTA})
+		}
+	}
+	dispatch()
+
+	var (
+		now            float64 // cycles
+		energyJ        float64
+		issueUtilInt   float64 // ∫ issue-utilization dt
+		dramUtilInt    float64
+		maxResident    int
+		dramCapacity   = d.BytesPerCycle()
+		issueCapPerSM  = float64(d.CoresPerSM)
+		secondsPerCyc  = 1 / (d.ClockMHz * 1e6)
+		gatedStaticSMs = 0
+	)
+	if cfg.PowerGateIdle {
+		for _, c := range caps {
+			if c == 0 {
+				gatedStaticSMs++
+			}
+		}
+	}
+
+	issueRates := map[*ctaState]float64{}
+	memRates := map[*ctaState]float64{}
+
+	for len(ctas) > 0 {
+		if r := len(ctas); r > maxResident {
+			maxResident = r
+		}
+		// --- Issue rates: per-SM water-fill over resident demanders. ---
+		clear(issueRates)
+		totalIssueRate := 0.0
+		perSMIssueUsed := make([]float64, d.NumSMs)
+		for sm := 0; sm < d.NumSMs; sm++ {
+			var demand []*ctaState
+			for _, c := range ctas {
+				if c.sm == sm && c.remIssue > simEpsilon {
+					demand = append(demand, c)
+				}
+			}
+			if len(demand) == 0 {
+				continue
+			}
+			shares := waterFill(len(demand), ctaIssueCap, issueCapPerSM)
+			for i, c := range demand {
+				issueRates[c] = shares[i]
+				perSMIssueUsed[sm] += shares[i]
+				totalIssueRate += shares[i]
+			}
+		}
+		// --- Memory rates: device-wide water-fill with a per-SM cap. ---
+		clear(memRates)
+		totalMemRate := 0.0
+		{
+			perSM := make([][]*ctaState, d.NumSMs)
+			nDemand := 0
+			for _, c := range ctas {
+				if c.remMem > simEpsilon {
+					perSM[c.sm] = append(perSM[c.sm], c)
+					nDemand++
+				}
+			}
+			if nDemand > 0 {
+				// SM-level fill: each SM's aggregate demand is capped by its
+				// LSU width; bandwidth splits equally per demanding CTA.
+				type smDemand struct {
+					sm   int
+					ctas []*ctaState
+				}
+				var sms []smDemand
+				for sm, list := range perSM {
+					if len(list) > 0 {
+						sms = append(sms, smDemand{sm, list})
+					}
+				}
+				remaining := dramCapacity
+				unfilled := make([]bool, len(sms))
+				for i := range unfilled {
+					unfilled[i] = true
+				}
+				smRate := make([]float64, len(sms))
+				for {
+					nCTAs := 0
+					for i, sd := range sms {
+						if unfilled[i] {
+							nCTAs += len(sd.ctas)
+						}
+					}
+					if nCTAs == 0 || remaining <= simEpsilon {
+						break
+					}
+					perCTA := remaining / float64(nCTAs)
+					progressed := false
+					for i, sd := range sms {
+						if !unfilled[i] {
+							continue
+						}
+						want := perCTA * float64(len(sd.ctas))
+						if want >= smMemCap-simEpsilon {
+							smRate[i] = smMemCap
+							remaining -= smMemCap
+							unfilled[i] = false
+							progressed = true
+						}
+					}
+					if !progressed {
+						for i, sd := range sms {
+							if unfilled[i] {
+								smRate[i] = perCTA * float64(len(sd.ctas))
+								unfilled[i] = false
+							}
+						}
+						break
+					}
+				}
+				for i, sd := range sms {
+					per := smRate[i] / float64(len(sd.ctas))
+					for _, c := range sd.ctas {
+						memRates[c] = per
+						totalMemRate += per
+					}
+				}
+			}
+		}
+
+		// --- Next event: earliest channel drain. ---
+		dt := math.Inf(1)
+		for _, c := range ctas {
+			if c.remIssue > simEpsilon {
+				if r := issueRates[c]; r > 0 {
+					if t := c.remIssue / r; t < dt {
+						dt = t
+					}
+				}
+			}
+			if c.remMem > simEpsilon {
+				if r := memRates[c]; r > 0 {
+					if t := c.remMem / r; t < dt {
+						dt = t
+					}
+				}
+			}
+		}
+		if math.IsInf(dt, 1) {
+			// All remaining work has zero demand (already drained); retire.
+			dt = 0
+		}
+
+		// --- Integrate power over dt. ---
+		if dt > 0 {
+			power := d.IdlePowerW
+			activeStaticSMs := d.NumSMs - gatedStaticSMs
+			power += float64(activeStaticSMs) * d.SMStaticPowerW
+			for sm := 0; sm < d.NumSMs; sm++ {
+				if caps[sm] == 0 && cfg.PowerGateIdle {
+					continue
+				}
+				power += d.SMDynPowerW * (perSMIssueUsed[sm] / issueCapPerSM)
+			}
+			achievedGBps := totalMemRate * d.ClockMHz * 1e6 / 1e9
+			power += d.DRAMPowerPerGBps * achievedGBps
+			energyJ += power * dt * secondsPerCyc
+			issueUtilInt += dt * totalIssueRate / (issueCapPerSM * float64(d.NumSMs))
+			dramUtilInt += dt * totalMemRate / dramCapacity
+		}
+
+		// --- Advance state and retire completed CTAs. ---
+		now += dt
+		live := ctas[:0]
+		completed := 0
+		for _, c := range ctas {
+			c.remIssue -= issueRates[c] * dt
+			c.remMem -= memRates[c] * dt
+			if c.remIssue <= simEpsilon*issuePerCTA+simEpsilon && c.remMem <= simEpsilon*memPerCTA+simEpsilon {
+				resident[c.sm]--
+				completed++
+				continue
+			}
+			live = append(live, c)
+		}
+		ctas = live
+		if completed > 0 {
+			dispatch()
+		} else if dt == 0 {
+			return Result{}, fmt.Errorf("gpu: simulation stalled for kernel %s on %s", k.Name, d.Name)
+		}
+	}
+
+	res.Cycles = now
+	res.TimeMS = d.CyclesToMS(now)
+	res.EnergyJ = energyJ
+	if now > 0 {
+		res.AvgPowerW = energyJ / (now * secondsPerCyc)
+		res.IssueUtil = issueUtilInt / now
+		res.DRAMUtil = dramUtilInt / now
+	}
+	for _, u := range everUsed {
+		if u {
+			res.ActiveSMs++
+		}
+	}
+	res.MaxResident = maxResident
+	if res.TimeMS > 0 {
+		res.AchievedGFLOPs = k.FLOPs() / (res.TimeMS * 1e-3) / 1e9
+	}
+	return res, nil
+}
+
+// Run simulates a sequence of launches back to back (e.g. the layers of a
+// network) and returns per-launch results plus the aggregate.
+func (d *Device) Run(launches []Launch) ([]Result, Aggregate, error) {
+	results := make([]Result, 0, len(launches))
+	var agg Aggregate
+	for _, l := range launches {
+		r, err := d.Simulate(l.Kernel, l.Config)
+		if err != nil {
+			return nil, Aggregate{}, err
+		}
+		results = append(results, r)
+		agg.TimeMS += r.TimeMS
+		agg.EnergyJ += r.EnergyJ
+	}
+	if agg.TimeMS > 0 {
+		agg.AvgPowerW = agg.EnergyJ / (agg.TimeMS * 1e-3)
+	}
+	return results, agg, nil
+}
+
+// waterFill divides capacity equally among n consumers each individually
+// capped at perCap, returning the awarded rates. Any capacity beyond
+// n×perCap is left unused (the consumers cannot absorb it).
+func waterFill(n int, perCap, capacity float64) []float64 {
+	shares := make([]float64, n)
+	if n == 0 {
+		return shares
+	}
+	equal := capacity / float64(n)
+	if equal > perCap {
+		equal = perCap
+	}
+	for i := range shares {
+		shares[i] = equal
+	}
+	return shares
+}

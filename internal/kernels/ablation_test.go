@@ -1,0 +1,101 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"pcnn/internal/gpu"
+)
+
+// The design-space ablation: how good is the analytical S_kernel ranking
+// (Eq 10) compared to exhaustively simulating every (tile, register)
+// design point? This is the check behind DESIGN.md's "analytical tuner"
+// claim — the tuner must land within a small factor of the simulated
+// optimum without ever invoking the simulator.
+
+// simulateCandidate times one design point under its own TLP limit.
+func simulateCandidate(dev *gpu.Device, tile TileConfig, regs, m, n, k int) (float64, bool) {
+	kern := Build("ablate", tile, m, n, k, regs, dev)
+	r, err := dev.Simulate(kern, gpu.LaunchConfig{Policy: gpu.RoundRobin})
+	if err != nil {
+		return 0, false
+	}
+	return r.TimeMS, true
+}
+
+// exhaustiveBest simulates all pruned candidates of all tiles and returns
+// the fastest time.
+func exhaustiveBest(dev *gpu.Device, m, n, k int) (float64, bool) {
+	best := math.Inf(1)
+	found := false
+	for _, tile := range StandardTiles() {
+		for _, cand := range Candidates(tile, dev) {
+			if t, ok := simulateCandidate(dev, tile, cand.Regs, m, n, k); ok && t < best {
+				best = t
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// alexNetGEMMs are the five conv GEMMs of AlexNet at batch 1 (per group).
+var alexNetGEMMs = [][3]int{
+	{96, 3025, 363},
+	{128, 729, 1200},
+	{384, 169, 2304},
+	{192, 169, 1728},
+	{128, 169, 1728},
+}
+
+func TestSelectRegretVsExhaustive(t *testing.T) {
+	for _, dev := range []*gpu.Device{gpu.K20c(), gpu.TX1()} {
+		var worst float64
+		for _, g := range alexNetGEMMs {
+			m, n, k := g[0], g[1], g[2]
+			choice, err := Select("regret", m, n, k, dev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			chosen, ok := simulateCandidate(dev, choice.Tile, choice.Regs, m, n, k)
+			if !ok {
+				t.Fatalf("%s: chosen point unlaunchable", dev.Name)
+			}
+			best, ok := exhaustiveBest(dev, m, n, k)
+			if !ok {
+				t.Fatalf("%s: no launchable point", dev.Name)
+			}
+			regret := chosen / best
+			if regret > worst {
+				worst = regret
+			}
+			// The analytical pick must stay within 2.5× of the simulated
+			// optimum for every layer (in practice it is much closer).
+			if regret > 2.5 {
+				t.Errorf("%s %dx%dx%d: S_kernel pick %.3fms vs simulated best %.3fms (regret %.2fx)",
+					dev.Name, m, n, k, chosen, best, regret)
+			}
+		}
+		t.Logf("%s: worst S_kernel regret %.2fx", dev.Name, worst)
+	}
+}
+
+// BenchmarkSelectVsExhaustive quantifies what the analytical tuner buys:
+// one Select call versus simulating the full design space.
+func BenchmarkSelectVsExhaustive(b *testing.B) {
+	dev := gpu.K20c()
+	b.Run("analytical", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Select("a", 128, 729, 1200, dev); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("exhaustive-sim", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := exhaustiveBest(dev, 128, 729, 1200); !ok {
+				b.Fatal("no launchable point")
+			}
+		}
+	})
+}

@@ -1,0 +1,75 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"pcnn/internal/tensor"
+)
+
+// BenchmarkConvForward measures one im2col+GEMM convolution at the scaled
+// networks' heaviest geometry.
+func BenchmarkConvForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	conv := NewConv("b", 24, 8, 8, 32, 3, 1, 1, rng)
+	x := tensor.New(8, 24, 8, 8)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conv.Forward(x, false)
+	}
+}
+
+// BenchmarkConvForwardPerforated measures the same convolution at half
+// keep — the payoff run-time tuning banks on.
+func BenchmarkConvForwardPerforated(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	conv := NewConv("b", 24, 8, 8, 32, 3, 1, 1, rng)
+	conv.SetPerforation(6, 6)
+	x := tensor.New(8, 24, 8, 8)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conv.Forward(x, false)
+	}
+}
+
+// BenchmarkAlexNetSInference measures a full scaled-network forward pass.
+func BenchmarkAlexNetSInference(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net := AlexNetS(rng)
+	x := tensor.New(4, 3, ScaledInputSize, ScaledInputSize)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Predict(x)
+	}
+}
+
+// BenchmarkTrainEpoch measures one SGD epoch on a small batch — the cost
+// unit of the accuracy lab.
+func BenchmarkTrainEpoch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net := AlexNetS(rng)
+	n := 32
+	x := tensor.New(n, 3, ScaledInputSize, ScaledInputSize)
+	labels := make([]int, n)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()
+	}
+	for i := range labels {
+		labels[i] = i % ScaledClasses
+	}
+	data := &Dataset{X: x, Labels: labels}
+	opt := NewSGD(0.01, 0.9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TrainEpoch(net, data, 16, opt)
+	}
+}

@@ -1,0 +1,180 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pcnn/internal/perforate"
+	"pcnn/internal/tensor"
+)
+
+// Conv is an executable convolutional layer implemented as im2col + GEMM,
+// exactly the lowering of Fig 2 in the paper. It supports run-time output
+// perforation (Fig 11): when a reduced keepW×keepH grid is set, only those
+// output positions are computed and the rest are interpolated from their
+// nearest computed neighbours.
+type Conv struct {
+	name   string
+	inC    int
+	inH    int
+	inW    int
+	outC   int
+	k      int
+	stride int
+	pad    int
+
+	weight *Param // (outC) × (inC·k·k)
+	bias   *Param // outC
+
+	keepW, keepH int // 0,0 = full computation
+
+	// Backward caches (training always runs unperforated).
+	lastCols  []*tensor.Tensor
+	lastInput *tensor.Tensor
+}
+
+// NewConv creates a convolutional layer with He-initialized weights.
+func NewConv(name string, inC, inH, inW, outC, k, stride, pad int, rng *rand.Rand) *Conv {
+	c := &Conv{
+		name: name, inC: inC, inH: inH, inW: inW,
+		outC: outC, k: k, stride: stride, pad: pad,
+	}
+	if ho, wo := c.OutDims(); ho <= 0 || wo <= 0 {
+		panic(fmt.Sprintf("nn: conv %s produces empty output", name))
+	}
+	fanIn := inC * k * k
+	c.weight = &Param{
+		Name: name + ".weight",
+		W:    tensor.New(outC, fanIn),
+		G:    tensor.New(outC, fanIn),
+	}
+	c.bias = &Param{Name: name + ".bias", W: tensor.New(outC), G: tensor.New(outC)}
+	initWeights(c.weight.W, fanIn, rng)
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv) Name() string { return c.name }
+
+// Params implements Layer.
+func (c *Conv) Params() []*Param { return []*Param{c.weight, c.bias} }
+
+// OutDims returns the full output spatial extent.
+func (c *Conv) OutDims() (ho, wo int) {
+	ho = (c.inH+2*c.pad-c.k)/c.stride + 1
+	wo = (c.inW+2*c.pad-c.k)/c.stride + 1
+	return ho, wo
+}
+
+// Shape returns the layer's geometry as a ConvShape for the analytical
+// models.
+func (c *Conv) Shape() ConvShape {
+	return ConvShape{
+		Name: c.name, Nc: c.inC, Hi: c.inH, Wi: c.inW,
+		Nf: c.outC, Sf: c.k, Stride: c.stride, Pad: c.pad,
+	}
+}
+
+// SetPerforation implements Perforable. (0, 0) restores full computation.
+func (c *Conv) SetPerforation(keepW, keepH int) {
+	c.keepW, c.keepH = keepW, keepH
+}
+
+// Perforation implements Perforable.
+func (c *Conv) Perforation() (keepW, keepH int) { return c.keepW, c.keepH }
+
+// mask returns the active perforation mask, or a full mask when disabled.
+func (c *Conv) mask() perforate.Mask {
+	ho, wo := c.OutDims()
+	if c.keepW <= 0 || c.keepH <= 0 || (c.keepW >= wo && c.keepH >= ho) {
+		return perforate.Full(wo, ho)
+	}
+	return perforate.Grid(wo, ho, c.keepW, c.keepH)
+}
+
+// Forward implements Layer.
+func (c *Conv) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n := x.Dim(0)
+	if x.Dim(1) != c.inC || x.Dim(2) != c.inH || x.Dim(3) != c.inW {
+		panic(fmt.Sprintf("nn: conv %s input %v, want [N %d %d %d]", c.name, x.Shape(), c.inC, c.inH, c.inW))
+	}
+	ho, wo := c.OutDims()
+	out := tensor.New(n, c.outC, ho, wo)
+
+	m := c.mask()
+	perforated := !m.IsFull() && !train
+	if train {
+		c.lastCols = make([]*tensor.Tensor, n)
+		c.lastInput = x
+	}
+
+	planeIn := c.inC * c.inH * c.inW
+	planeOut := ho * wo
+	for i := 0; i < n; i++ {
+		xi := x.Data[i*planeIn : (i+1)*planeIn]
+		var cols *tensor.Tensor
+		if perforated {
+			cols = im2colSampled(xi, c.inC, c.inH, c.inW, c.k, c.stride, c.pad, m.SampledIndices())
+		} else {
+			cols = im2col(xi, c.inC, c.inH, c.inW, c.k, c.stride, c.pad)
+		}
+		if train {
+			c.lastCols[i] = cols
+		}
+		res := tensor.MatMul(c.weight.W, cols) // outC × nPos
+		oi := out.Data[i*c.outC*planeOut : (i+1)*c.outC*planeOut]
+		if perforated {
+			nPos := m.SampledCount()
+			for f := 0; f < c.outC; f++ {
+				row := res.Data[f*nPos : (f+1)*nPos]
+				b := c.bias.W.Data[f]
+				for j := range row {
+					row[j] += b
+				}
+				m.Scatter(row, oi[f*planeOut:(f+1)*planeOut])
+			}
+			m.Interpolate(oi, c.outC)
+		} else {
+			for f := 0; f < c.outC; f++ {
+				row := res.Data[f*planeOut : (f+1)*planeOut]
+				b := c.bias.W.Data[f]
+				dst := oi[f*planeOut : (f+1)*planeOut]
+				for j, v := range row {
+					dst[j] = v + b
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer. Training always runs unperforated.
+func (c *Conv) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if c.lastCols == nil {
+		panic(fmt.Sprintf("nn: conv %s: Backward without training Forward", c.name))
+	}
+	n := grad.Dim(0)
+	ho, wo := c.OutDims()
+	planeOut := ho * wo
+	planeIn := c.inC * c.inH * c.inW
+	dx := tensor.New(n, c.inC, c.inH, c.inW)
+	for i := 0; i < n; i++ {
+		gi := tensor.FromSlice(grad.Data[i*c.outC*planeOut:(i+1)*c.outC*planeOut], c.outC, planeOut)
+		// cols is (inC·k·k) × planeOut, so dW = g(outC×planeOut) · colsᵀ.
+		dW := tensor.MatMulTransB(gi, c.lastCols[i])
+		c.weight.G.Add(dW)
+		// db += row sums of g
+		for f := 0; f < c.outC; f++ {
+			var s float32
+			row := gi.Data[f*planeOut : (f+1)*planeOut]
+			for _, v := range row {
+				s += v
+			}
+			c.bias.G.Data[f] += s
+		}
+		// dcols = Wᵀ · g
+		dcols := tensor.MatMulTransA(c.weight.W, gi)
+		col2im(dx.Data[i*planeIn:(i+1)*planeIn], dcols, c.inC, c.inH, c.inW, c.k, c.stride, c.pad)
+	}
+	return dx
+}

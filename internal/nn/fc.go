@@ -1,0 +1,82 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pcnn/internal/tensor"
+)
+
+// FC is an executable fully-connected layer. It accepts any NCHW input and
+// flattens C·H·W into its input features; its output is N×Out×1×1.
+type FC struct {
+	name    string
+	in, out int
+
+	weight *Param // out × in
+	bias   *Param // out
+
+	lastInput *tensor.Tensor // flattened N×in view
+	lastShape []int
+}
+
+// NewFC creates a fully-connected layer with He-initialized weights.
+func NewFC(name string, in, out int, rng *rand.Rand) *FC {
+	f := &FC{name: name, in: in, out: out}
+	f.weight = &Param{Name: name + ".weight", W: tensor.New(out, in), G: tensor.New(out, in)}
+	f.bias = &Param{Name: name + ".bias", W: tensor.New(out), G: tensor.New(out)}
+	initWeights(f.weight.W, in, rng)
+	return f
+}
+
+// Name implements Layer.
+func (f *FC) Name() string { return f.name }
+
+// Params implements Layer.
+func (f *FC) Params() []*Param { return []*Param{f.weight, f.bias} }
+
+// Shape returns the layer geometry for the analytical models.
+func (f *FC) Shape() FCShape { return FCShape{Name: f.name, In: f.in, Out: f.out} }
+
+// Forward implements Layer.
+func (f *FC) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n := x.Dim(0)
+	if x.Len()/n != f.in {
+		panic(fmt.Sprintf("nn: fc %s: input %v has %d features, want %d", f.name, x.Shape(), x.Len()/n, f.in))
+	}
+	flat := x.Reshape(n, f.in)
+	if train {
+		f.lastInput = flat
+		f.lastShape = x.Shape()
+	}
+	// out = flat · Wᵀ, one row per sample.
+	res := tensor.MatMulTransB(flat, f.weight.W) // n × out
+	for i := 0; i < n; i++ {
+		row := res.Data[i*f.out : (i+1)*f.out]
+		for j := range row {
+			row[j] += f.bias.W.Data[j]
+		}
+	}
+	return res.Reshape(n, f.out, 1, 1)
+}
+
+// Backward implements Layer.
+func (f *FC) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if f.lastInput == nil {
+		panic(fmt.Sprintf("nn: fc %s: Backward without training Forward", f.name))
+	}
+	n := grad.Dim(0)
+	g := grad.Reshape(n, f.out)
+	// dW = gᵀ · x  (out × in)
+	dW := tensor.MatMulTransA(g, f.lastInput)
+	f.weight.G.Add(dW)
+	for i := 0; i < n; i++ {
+		row := g.Data[i*f.out : (i+1)*f.out]
+		for j, v := range row {
+			f.bias.G.Data[j] += v
+		}
+	}
+	// dx = g · W  (n × in)
+	dx := tensor.MatMul(g, f.weight.W)
+	return dx.Reshape(f.lastShape...)
+}

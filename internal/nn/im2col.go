@@ -1,0 +1,86 @@
+package nn
+
+import "pcnn/internal/tensor"
+
+// im2col lowers one image's convolution input to the column matrix Dm of
+// Fig 2: each output position becomes a column holding the Sf²·Nc input
+// values its filter window covers. x is a C×H×W plane slice; the result
+// is (c·kh·kw) × (ho·wo).
+func im2col(x []float32, c, h, w, k, stride, pad int) *tensor.Tensor {
+	ho := (h+2*pad-k)/stride + 1
+	wo := (w+2*pad-k)/stride + 1
+	cols := tensor.New(c*k*k, ho*wo)
+	im2colInto(cols.Data, x, c, h, w, k, stride, pad, nil, ho, wo)
+	return cols
+}
+
+// im2colSampled lowers only the given output positions (row-major indices
+// into the ho×wo grid), producing (c·kh·kw) × len(positions). This is the
+// perforated data matrix: the GEMM's N dimension shrinks to Wo′·Ho′.
+func im2colSampled(x []float32, c, h, w, k, stride, pad int, positions []int) *tensor.Tensor {
+	ho := (h+2*pad-k)/stride + 1
+	wo := (w+2*pad-k)/stride + 1
+	cols := tensor.New(c*k*k, len(positions))
+	im2colInto(cols.Data, x, c, h, w, k, stride, pad, positions, ho, wo)
+	return cols
+}
+
+// im2colInto fills dst (rows = c·k·k, cols = nPos) from x. positions==nil
+// means all ho·wo positions in row-major order.
+func im2colInto(dst, x []float32, c, h, w, k, stride, pad int, positions []int, ho, wo int) {
+	nPos := ho * wo
+	if positions != nil {
+		nPos = len(positions)
+	}
+	row := 0
+	for ci := 0; ci < c; ci++ {
+		plane := x[ci*h*w : (ci+1)*h*w]
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				out := dst[row*nPos : (row+1)*nPos]
+				for p := 0; p < nPos; p++ {
+					pos := p
+					if positions != nil {
+						pos = positions[p]
+					}
+					oy, ox := pos/wo, pos%wo
+					iy := oy*stride - pad + ky
+					ix := ox*stride - pad + kx
+					if iy >= 0 && iy < h && ix >= 0 && ix < w {
+						out[p] = plane[iy*w+ix]
+					} else {
+						out[p] = 0
+					}
+				}
+				row++
+			}
+		}
+	}
+}
+
+// col2im scatters column-matrix gradients back to an input-plane gradient,
+// the adjoint of im2col. cols is (c·k·k) × (ho·wo); the result accumulates
+// into dx (length c·h·w).
+func col2im(dx []float32, cols *tensor.Tensor, c, h, w, k, stride, pad int) {
+	ho := (h+2*pad-k)/stride + 1
+	wo := (w+2*pad-k)/stride + 1
+	nPos := ho * wo
+	row := 0
+	for ci := 0; ci < c; ci++ {
+		plane := dx[ci*h*w : (ci+1)*h*w]
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				src := cols.Data[row*nPos : (row+1)*nPos]
+				for p := 0; p < nPos; p++ {
+					oy, ox := p/wo, p%wo
+					iy := oy*stride - pad + ky
+					ix := ox*stride - pad + kx
+					if iy >= 0 && iy < h && ix >= 0 && ix < w {
+						plane[iy*w+ix] += src[p]
+					}
+				}
+				row++
+			}
+		}
+	}
+}

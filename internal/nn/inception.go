@@ -1,0 +1,113 @@
+package nn
+
+import (
+	"fmt"
+
+	"pcnn/internal/tensor"
+)
+
+// Inception runs parallel branches on the same input and concatenates
+// their outputs along the channel axis — the module structure of
+// GoogLeNet. All branches must produce the same spatial extent.
+type Inception struct {
+	name     string
+	Branches []*Sequential // each branch is a small layer chain (Classes unused)
+
+	lastChans []int // per-branch output channels from the last Forward
+	lastDims  []int // N, H, W of the concatenated output
+}
+
+// NewInception assembles an inception module from branch layer chains.
+func NewInception(name string, branches ...[]Layer) *Inception {
+	inc := &Inception{name: name}
+	for i, b := range branches {
+		inc.Branches = append(inc.Branches, &Sequential{
+			NetName: fmt.Sprintf("%s/b%d", name, i),
+			Layers:  b,
+		})
+	}
+	return inc
+}
+
+// Name implements Layer.
+func (inc *Inception) Name() string { return inc.name }
+
+// Params implements Layer.
+func (inc *Inception) Params() []*Param {
+	var ps []*Param
+	for _, b := range inc.Branches {
+		ps = append(ps, b.Params()...)
+	}
+	return ps
+}
+
+// Forward implements Layer.
+func (inc *Inception) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	outs := make([]*tensor.Tensor, len(inc.Branches))
+	for i, b := range inc.Branches {
+		o := x
+		for _, l := range b.Layers {
+			o = l.Forward(o, train)
+		}
+		outs[i] = o
+	}
+	n, h, w := outs[0].Dim(0), outs[0].Dim(2), outs[0].Dim(3)
+	totalC := 0
+	inc.lastChans = make([]int, len(outs))
+	for i, o := range outs {
+		if o.Dim(0) != n || o.Dim(2) != h || o.Dim(3) != w {
+			panic(fmt.Sprintf("nn: inception %s: branch %d output %v mismatches [%d _ %d %d]",
+				inc.name, i, o.Shape(), n, h, w))
+		}
+		inc.lastChans[i] = o.Dim(1)
+		totalC += o.Dim(1)
+	}
+	inc.lastDims = []int{n, h, w}
+	out := tensor.New(n, totalC, h, w)
+	plane := h * w
+	for s := 0; s < n; s++ {
+		cOff := 0
+		for i, o := range outs {
+			ci := inc.lastChans[i]
+			src := o.Data[s*ci*plane : (s+1)*ci*plane]
+			dst := out.Data[(s*totalC+cOff)*plane : (s*totalC+cOff+ci)*plane]
+			copy(dst, src)
+			cOff += ci
+		}
+	}
+	return out
+}
+
+// Backward implements Layer: the gradient splits along channels, flows
+// through each branch, and the branch input-gradients sum.
+func (inc *Inception) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if inc.lastDims == nil {
+		panic(fmt.Sprintf("nn: inception %s: Backward without training Forward", inc.name))
+	}
+	n, h, w := inc.lastDims[0], inc.lastDims[1], inc.lastDims[2]
+	plane := h * w
+	totalC := grad.Dim(1)
+
+	var dx *tensor.Tensor
+	cOff := 0
+	for i, b := range inc.Branches {
+		ci := inc.lastChans[i]
+		bg := tensor.New(n, ci, h, w)
+		for s := 0; s < n; s++ {
+			src := grad.Data[(s*totalC+cOff)*plane : (s*totalC+cOff+ci)*plane]
+			dst := bg.Data[s*ci*plane : (s+1)*ci*plane]
+			copy(dst, src)
+		}
+		g := bg
+		for j := len(b.Layers) - 1; j >= 0; j-- {
+			g = b.Layers[j].Backward(g)
+		}
+		if dx == nil {
+			dx = g
+		} else {
+			dx.Add(g)
+		}
+		cOff += ci
+	}
+	return dx
+}

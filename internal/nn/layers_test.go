@@ -1,0 +1,308 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pcnn/internal/tensor"
+)
+
+// naiveConv computes a direct convolution as a reference for the
+// im2col+GEMM path.
+func naiveConv(x *tensor.Tensor, w *tensor.Tensor, bias []float32, inC, inH, inW, outC, k, stride, pad int) *tensor.Tensor {
+	n := x.Dim(0)
+	ho := (inH+2*pad-k)/stride + 1
+	wo := (inW+2*pad-k)/stride + 1
+	out := tensor.New(n, outC, ho, wo)
+	for i := 0; i < n; i++ {
+		for f := 0; f < outC; f++ {
+			for oy := 0; oy < ho; oy++ {
+				for ox := 0; ox < wo; ox++ {
+					s := float64(bias[f])
+					for c := 0; c < inC; c++ {
+						for ky := 0; ky < k; ky++ {
+							for kx := 0; kx < k; kx++ {
+								iy := oy*stride - pad + ky
+								ix := ox*stride - pad + kx
+								if iy < 0 || iy >= inH || ix < 0 || ix >= inW {
+									continue
+								}
+								s += float64(x.At(i, c, iy, ix)) * float64(w.At(f, c*k*k+ky*k+kx))
+							}
+						}
+					}
+					out.Set(float32(s), i, f, oy, ox)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestConvMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	conv := NewConv("c", 3, 7, 6, 4, 3, 2, 1, rng)
+	x := tensor.New(2, 3, 7, 6)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()*2 - 1
+	}
+	got := conv.Forward(x, false)
+	want := naiveConv(x, conv.weight.W, conv.bias.W.Data, 3, 7, 6, 4, 3, 2, 1)
+	if !tensor.AllClose(got, want, 1e-4) {
+		t.Fatalf("im2col conv diverges from direct conv")
+	}
+}
+
+func TestConvForwardShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	conv := NewConv("c", 3, 16, 16, 8, 3, 1, 1, rng)
+	out := conv.Forward(tensor.New(4, 3, 16, 16), false)
+	want := []int{4, 8, 16, 16}
+	for i, d := range want {
+		if out.Dim(i) != d {
+			t.Fatalf("out shape %v, want %v", out.Shape(), want)
+		}
+	}
+}
+
+func TestConvInputShapeMismatchPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	conv := NewConv("c", 3, 8, 8, 4, 3, 1, 1, rng)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("mismatched input did not panic")
+		}
+	}()
+	conv.Forward(tensor.New(1, 3, 9, 8), false)
+}
+
+// gradCheck compares analytic parameter and input gradients against
+// central finite differences of a scalar loss (sum of outputs × fixed
+// random weights).
+func gradCheck(t *testing.T, layer Layer, inShape []int, seed int64, tol float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	x := tensor.New(inShape...)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()*2 - 1
+	}
+	out := layer.Forward(x, true)
+	coef := make([]float32, out.Len())
+	for i := range coef {
+		coef[i] = rng.Float32()*2 - 1
+	}
+	loss := func(o *tensor.Tensor) float64 {
+		var s float64
+		for i, v := range o.Data {
+			s += float64(coef[i]) * float64(v)
+		}
+		return s
+	}
+	_ = loss(out)
+	grad := tensor.New(out.Shape()...)
+	copy(grad.Data, coef)
+	for _, p := range layer.Params() {
+		p.G.Zero()
+	}
+	dx := layer.Backward(grad)
+
+	const eps = 1e-2
+	check := func(name string, data []float32, analytic []float32, n int) {
+		for trial := 0; trial < n; trial++ {
+			i := rng.Intn(len(data))
+			orig := data[i]
+			data[i] = orig + eps
+			up := loss(layer.Forward(x, false))
+			data[i] = orig - eps
+			down := loss(layer.Forward(x, false))
+			data[i] = orig
+			numeric := (up - down) / (2 * eps)
+			got := float64(analytic[i])
+			scale := math.Max(math.Abs(numeric), math.Abs(got))
+			if scale < 1e-4 {
+				continue
+			}
+			if math.Abs(numeric-got)/scale > tol {
+				t.Errorf("%s[%d]: analytic %v vs numeric %v", name, i, got, numeric)
+			}
+		}
+	}
+	check("dx", x.Data, dx.Data, 12)
+	for _, p := range layer.Params() {
+		check(p.Name, p.W.Data, p.G.Data, 12)
+	}
+}
+
+func TestConvGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	gradCheck(t, NewConv("c", 2, 6, 5, 3, 3, 1, 1, rng), []int{2, 2, 6, 5}, 21, 0.03)
+}
+
+func TestConvGradCheckStride2(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	gradCheck(t, NewConv("c", 3, 8, 8, 4, 3, 2, 0, rng), []int{1, 3, 8, 8}, 22, 0.03)
+}
+
+func TestFCGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	gradCheck(t, NewFC("f", 12, 5, rng), []int{3, 3, 2, 2}, 23, 0.03)
+}
+
+func TestReLUGradCheck(t *testing.T) {
+	gradCheck(t, NewReLU("r"), []int{2, 3, 4, 4}, 24, 0.03)
+}
+
+func TestMaxPoolGradCheck(t *testing.T) {
+	gradCheck(t, NewMaxPool("p", 2, 2), []int{2, 2, 6, 6}, 25, 0.05)
+}
+
+func TestInceptionGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	inc := NewInception("i",
+		[]Layer{NewConv("b0", 3, 5, 5, 2, 1, 1, 0, rng)},
+		[]Layer{NewConv("b1a", 3, 5, 5, 2, 1, 1, 0, rng), NewConv("b1b", 2, 5, 5, 3, 3, 1, 1, rng)},
+	)
+	gradCheck(t, inc, []int{2, 3, 5, 5}, 26, 0.03)
+}
+
+func TestMaxPoolForward(t *testing.T) {
+	p := NewMaxPool("p", 2, 2)
+	x := tensor.FromSlice([]float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 1, 4, 4)
+	out := p.Forward(x, false)
+	want := []float32{6, 8, 14, 16}
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Fatalf("pool out %v, want %v", out.Data, want)
+		}
+	}
+}
+
+func TestReLUForward(t *testing.T) {
+	r := NewReLU("r")
+	x := tensor.FromSlice([]float32{-1, 0, 2, -3}, 1, 4, 1, 1)
+	out := r.Forward(x, false)
+	want := []float32{0, 0, 2, 0}
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Fatalf("relu out %v, want %v", out.Data, want)
+		}
+	}
+	if x.Data[0] != -1 {
+		t.Fatalf("ReLU mutated its input")
+	}
+}
+
+func TestBackwardWithoutForwardPanics(t *testing.T) {
+	cases := []Layer{
+		NewConv("c", 1, 4, 4, 1, 3, 1, 1, rand.New(rand.NewSource(1))),
+		NewFC("f", 4, 2, rand.New(rand.NewSource(1))),
+		NewMaxPool("p", 2, 2),
+		NewReLU("r"),
+	}
+	for _, l := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: Backward without Forward did not panic", l.Name())
+				}
+			}()
+			l.Backward(tensor.New(1, 1, 1, 1))
+		}()
+	}
+}
+
+func TestConvPerforationMatchesFullAtComputedPositions(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	conv := NewConv("c", 3, 12, 12, 4, 3, 1, 1, rng)
+	x := tensor.New(1, 3, 12, 12)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()
+	}
+	full := conv.Forward(x, false)
+	conv.SetPerforation(6, 6)
+	perf := conv.Forward(x, false)
+	m := perfMaskFor(conv)
+	conv.SetPerforation(0, 0)
+
+	ho, wo := conv.OutDims()
+	for f := 0; f < 4; f++ {
+		// Bilinear interpolation is a convex combination of computed
+		// values; bound them per channel.
+		lo, hi := float32(math.Inf(1)), float32(math.Inf(-1))
+		for i := 0; i < ho*wo; i++ {
+			if m.Computed[i] {
+				v := perf.At(0, f, i/wo, i%wo)
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+		}
+		for i := 0; i < ho*wo; i++ {
+			pf := perf.At(0, f, i/wo, i%wo)
+			fl := full.At(0, f, i/wo, i%wo)
+			if m.Computed[i] {
+				if math.Abs(float64(pf-fl)) > 1e-5 {
+					t.Fatalf("computed position %d differs: %v vs %v", i, pf, fl)
+				}
+			} else if pf < lo-1e-5 || pf > hi+1e-5 {
+				t.Fatalf("interpolated position %d = %v outside computed range [%v,%v]", i, pf, lo, hi)
+			}
+		}
+	}
+}
+
+// perfMaskFor exposes the conv's active mask for testing.
+func perfMaskFor(c *Conv) maskView {
+	m := c.mask()
+	return maskView{Computed: m.Computed, Source: m.Source}
+}
+
+type maskView struct {
+	Computed []bool
+	Source   []int
+}
+
+func TestConvPerforationZeroIsFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	conv := NewConv("c", 2, 8, 8, 3, 3, 1, 1, rng)
+	x := tensor.New(1, 2, 8, 8)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()
+	}
+	full := conv.Forward(x, false)
+	conv.SetPerforation(0, 0)
+	again := conv.Forward(x, false)
+	if !tensor.AllClose(full, again, 0) {
+		t.Fatalf("keep (0,0) changed output")
+	}
+	ho, wo := conv.OutDims()
+	conv.SetPerforation(wo, ho)
+	fullKeep := conv.Forward(x, false)
+	if !tensor.AllClose(full, fullKeep, 0) {
+		t.Fatalf("keep (wo,ho) changed output")
+	}
+}
+
+func TestTrainingIgnoresPerforation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	conv := NewConv("c", 2, 8, 8, 3, 3, 1, 1, rng)
+	x := tensor.New(1, 2, 8, 8)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()
+	}
+	full := conv.Forward(x, false)
+	conv.SetPerforation(2, 2)
+	trainOut := conv.Forward(x, true)
+	if !tensor.AllClose(full, trainOut, 0) {
+		t.Fatalf("training forward applied perforation")
+	}
+}

@@ -1,0 +1,172 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"pcnn/internal/tensor"
+)
+
+// Sequential is an executable feed-forward network: a chain of layers
+// ending (for classifiers) in a logits-producing FC layer. Softmax and the
+// cross-entropy loss live in the network, not in a layer.
+type Sequential struct {
+	NetName string
+	Layers  []Layer
+	Classes int
+}
+
+// NewSequential assembles a network.
+func NewSequential(name string, classes int, layers ...Layer) *Sequential {
+	return &Sequential{NetName: name, Layers: layers, Classes: classes}
+}
+
+// Name returns the network name.
+func (s *Sequential) Name() string { return s.NetName }
+
+// Params returns all trainable parameters.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Forward runs the network and returns raw logits (N×classes).
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	n := x.Dim(0)
+	if x.Len()/n != s.Classes {
+		panic(fmt.Sprintf("nn: %s: final layer produced %d values per sample, want %d classes",
+			s.NetName, x.Len()/n, s.Classes))
+	}
+	return x.Reshape(n, s.Classes)
+}
+
+// Predict runs inference and returns softmax probability rows, one per
+// sample.
+func (s *Sequential) Predict(x *tensor.Tensor) [][]float32 {
+	logits := s.Forward(x, false)
+	n := logits.Dim(0)
+	out := make([][]float32, n)
+	for i := 0; i < n; i++ {
+		out[i] = softmaxRow(logits.Data[i*s.Classes : (i+1)*s.Classes])
+	}
+	return out
+}
+
+// softmaxRow returns the softmax of one logit row (numerically stable).
+func softmaxRow(logits []float32) []float32 {
+	mx := logits[0]
+	for _, v := range logits[1:] {
+		if v > mx {
+			mx = v
+		}
+	}
+	p := make([]float32, len(logits))
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(float64(v - mx))
+		p[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1 / sum)
+	for i := range p {
+		p[i] *= inv
+	}
+	return p
+}
+
+// LossAndGrad computes mean cross-entropy over the batch and the gradient
+// of the logits, for training. labels[i] is the class index of sample i.
+func (s *Sequential) LossAndGrad(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	n := logits.Dim(0)
+	if len(labels) != n {
+		panic(fmt.Sprintf("nn: %s: %d labels for batch of %d", s.NetName, len(labels), n))
+	}
+	grad := tensor.New(n, s.Classes)
+	var loss float64
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*s.Classes : (i+1)*s.Classes]
+		p := softmaxRow(row)
+		y := labels[i]
+		if y < 0 || y >= s.Classes {
+			panic(fmt.Sprintf("nn: %s: label %d out of range [0,%d)", s.NetName, y, s.Classes))
+		}
+		loss -= math.Log(math.Max(float64(p[y]), 1e-12))
+		g := grad.Data[i*s.Classes : (i+1)*s.Classes]
+		for j := range g {
+			g[j] = p[j] / float32(n)
+		}
+		g[y] -= 1 / float32(n)
+	}
+	return loss / float64(n), grad
+}
+
+// Backward propagates a logits gradient through all layers.
+func (s *Sequential) Backward(grad *tensor.Tensor) {
+	// The final layer produced an N×classes reshape; layers expect NCHW.
+	g := grad.Reshape(grad.Dim(0), s.Classes, 1, 1)
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		g = s.Layers[i].Backward(g)
+	}
+}
+
+// ZeroGrad clears all parameter gradients.
+func (s *Sequential) ZeroGrad() {
+	for _, p := range s.Params() {
+		p.G.Zero()
+	}
+}
+
+// PerforableLayers returns the layers whose outputs can be perforated, in
+// network order — the tuning knobs of the run-time accuracy tuner.
+func (s *Sequential) PerforableLayers() []Perforable {
+	var out []Perforable
+	for _, l := range s.Layers {
+		collectPerforable(l, &out)
+	}
+	return out
+}
+
+// collectPerforable descends into composite layers (Inception).
+func collectPerforable(l Layer, out *[]Perforable) {
+	switch v := l.(type) {
+	case *Inception:
+		for _, b := range v.Branches {
+			for _, bl := range b.Layers {
+				collectPerforable(bl, out)
+			}
+		}
+	case Perforable:
+		*out = append(*out, v)
+	}
+}
+
+// ClearPerforation restores full computation on every perforable layer.
+func (s *Sequential) ClearPerforation() {
+	for _, p := range s.PerforableLayers() {
+		p.SetPerforation(0, 0)
+	}
+}
+
+// Accuracy runs inference on a labelled set and returns top-1 accuracy.
+func (s *Sequential) Accuracy(x *tensor.Tensor, labels []int) float64 {
+	probs := s.Predict(x)
+	correct := 0
+	for i, p := range probs {
+		best := 0
+		for j := range p {
+			if p[j] > p[best] {
+				best = j
+			}
+		}
+		if best == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}

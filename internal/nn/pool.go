@@ -1,0 +1,132 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"pcnn/internal/tensor"
+)
+
+// MaxPool is an executable max-pooling layer.
+type MaxPool struct {
+	name   string
+	size   int
+	stride int
+
+	lastArgmax []int // flat input index chosen per output element
+	lastShape  []int // input shape for Backward
+}
+
+// NewMaxPool creates a max-pooling layer with a square window.
+func NewMaxPool(name string, size, stride int) *MaxPool {
+	if size <= 0 || stride <= 0 {
+		panic(fmt.Sprintf("nn: pool %s: invalid size/stride %d/%d", name, size, stride))
+	}
+	return &MaxPool{name: name, size: size, stride: stride}
+}
+
+// Name implements Layer.
+func (p *MaxPool) Name() string { return p.name }
+
+// Params implements Layer.
+func (p *MaxPool) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (p *MaxPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	ho := (h-p.size)/p.stride + 1
+	wo := (w-p.size)/p.stride + 1
+	if ho <= 0 || wo <= 0 {
+		panic(fmt.Sprintf("nn: pool %s: window %d exceeds input %dx%d", p.name, p.size, h, w))
+	}
+	out := tensor.New(n, c, ho, wo)
+	if train {
+		p.lastArgmax = make([]int, out.Len())
+		p.lastShape = x.Shape()
+	}
+	for i := 0; i < n; i++ {
+		for ci := 0; ci < c; ci++ {
+			in := x.Data[(i*c+ci)*h*w : (i*c+ci+1)*h*w]
+			base := (i*c + ci) * ho * wo
+			for oy := 0; oy < ho; oy++ {
+				for ox := 0; ox < wo; ox++ {
+					best := float32(math.Inf(-1))
+					bestIdx := -1
+					for ky := 0; ky < p.size; ky++ {
+						for kx := 0; kx < p.size; kx++ {
+							iy := oy*p.stride + ky
+							ix := ox*p.stride + kx
+							if v := in[iy*w+ix]; v > best {
+								best = v
+								bestIdx = iy*w + ix
+							}
+						}
+					}
+					o := base + oy*wo + ox
+					out.Data[o] = best
+					if train {
+						p.lastArgmax[o] = (i*c+ci)*h*w + bestIdx
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer: the gradient routes to each window's argmax.
+func (p *MaxPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if p.lastArgmax == nil {
+		panic(fmt.Sprintf("nn: pool %s: Backward without training Forward", p.name))
+	}
+	dx := tensor.New(p.lastShape...)
+	for o, src := range p.lastArgmax {
+		dx.Data[src] += grad.Data[o]
+	}
+	return dx
+}
+
+// ReLU is an executable rectified-linear activation.
+type ReLU struct {
+	name     string
+	lastMask []bool
+}
+
+// NewReLU creates a ReLU layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.name }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := x.Clone()
+	if train {
+		r.lastMask = make([]bool, out.Len())
+	}
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = 0
+		} else if train {
+			r.lastMask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if r.lastMask == nil {
+		panic(fmt.Sprintf("nn: relu %s: Backward without training Forward", r.name))
+	}
+	dx := grad.Clone()
+	for i := range dx.Data {
+		if !r.lastMask[i] {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}

@@ -1,0 +1,119 @@
+package nn
+
+import "math/rand"
+
+// Scaled-down trainable variants of the three characterization networks.
+// They preserve each architecture's signature (AlexNet: wide shallow
+// convs; VGG: deep 3×3 stacks; GoogLeNet: inception modules) at a size a
+// CPU can train in seconds on the synthetic task, so the accuracy/entropy
+// experiments (Table I, Fig 16) run on real learned classifiers. Input is
+// ScaledInputSize² RGB; ScaledClasses output classes.
+
+// Scaled network input geometry shared by all three variants.
+const (
+	ScaledInputSize = 16
+	ScaledClasses   = 8
+)
+
+// AlexNetS returns the scaled AlexNet analogue: five convolutional layers
+// with interleaved pooling, then a classifier.
+func AlexNetS(rng *rand.Rand) *Sequential {
+	s := ScaledInputSize
+	return NewSequential("AlexNet-S", ScaledClasses,
+		NewConv("CONV1", 3, s, s, 12, 3, 1, 1, rng),
+		NewReLU("RELU1"),
+		NewMaxPool("POOL1", 2, 2), // 8×8
+		NewConv("CONV2", 12, s/2, s/2, 24, 3, 1, 1, rng),
+		NewReLU("RELU2"),
+		NewMaxPool("POOL2", 2, 2), // 4×4
+		NewConv("CONV3", 24, s/4, s/4, 32, 3, 1, 1, rng),
+		NewReLU("RELU3"),
+		NewConv("CONV4", 32, s/4, s/4, 32, 3, 1, 1, rng),
+		NewReLU("RELU4"),
+		NewConv("CONV5", 32, s/4, s/4, 24, 3, 1, 1, rng),
+		NewReLU("RELU5"),
+		NewMaxPool("POOL5", 2, 2), // 2×2
+		NewFC("FC6", 24*(s/8)*(s/8), 48, rng),
+		NewReLU("RELU6"),
+		NewFC("FC8", 48, ScaledClasses, rng),
+	)
+}
+
+// VGGS returns the scaled VGG analogue: stacked 3×3 convolution blocks.
+func VGGS(rng *rand.Rand) *Sequential {
+	s := ScaledInputSize
+	return NewSequential("VGG-S", ScaledClasses,
+		NewConv("CONV1_1", 3, s, s, 16, 3, 1, 1, rng),
+		NewReLU("RELU1_1"),
+		NewConv("CONV1_2", 16, s, s, 16, 3, 1, 1, rng),
+		NewReLU("RELU1_2"),
+		NewMaxPool("POOL1", 2, 2), // 8×8
+		NewConv("CONV2_1", 16, s/2, s/2, 32, 3, 1, 1, rng),
+		NewReLU("RELU2_1"),
+		NewConv("CONV2_2", 32, s/2, s/2, 32, 3, 1, 1, rng),
+		NewReLU("RELU2_2"),
+		NewMaxPool("POOL2", 2, 2), // 4×4
+		NewConv("CONV3_1", 32, s/4, s/4, 48, 3, 1, 1, rng),
+		NewReLU("RELU3_1"),
+		NewConv("CONV3_2", 48, s/4, s/4, 48, 3, 1, 1, rng),
+		NewReLU("RELU3_2"),
+		NewMaxPool("POOL3", 2, 2), // 2×2
+		NewFC("FC6", 48*(s/8)*(s/8), 64, rng),
+		NewReLU("RELU6"),
+		NewFC("FC8", 64, ScaledClasses, rng),
+	)
+}
+
+// GoogLeNetS returns the scaled GoogLeNet analogue: a stem followed by two
+// inception modules.
+func GoogLeNetS(rng *rand.Rand) *Sequential {
+	s := ScaledInputSize
+	inception := func(name string, in, n1x1, n3x3red, n3x3, n5x5red, n5x5 int, size int) *Inception {
+		return NewInception(name,
+			[]Layer{
+				NewConv(name+"/1x1", in, size, size, n1x1, 1, 1, 0, rng),
+				NewReLU(name + "/relu1"),
+			},
+			[]Layer{
+				NewConv(name+"/3x3red", in, size, size, n3x3red, 1, 1, 0, rng),
+				NewReLU(name + "/relu3r"),
+				NewConv(name+"/3x3", n3x3red, size, size, n3x3, 3, 1, 1, rng),
+				NewReLU(name + "/relu3"),
+			},
+			[]Layer{
+				NewConv(name+"/5x5red", in, size, size, n5x5red, 1, 1, 0, rng),
+				NewReLU(name + "/relu5r"),
+				NewConv(name+"/5x5", n5x5red, size, size, n5x5, 5, 1, 2, rng),
+				NewReLU(name + "/relu5"),
+			},
+		)
+	}
+	return NewSequential("GoogLeNet-S", ScaledClasses,
+		NewConv("CONV1", 3, s, s, 16, 3, 1, 1, rng),
+		NewReLU("RELU1"),
+		NewMaxPool("POOL1", 2, 2), // 8×8
+		NewConv("CONV2", 16, s/2, s/2, 32, 3, 1, 1, rng),
+		NewReLU("RELU2"),
+		inception("INC3a", 32, 16, 12, 24, 4, 8, s/2),  // out 48
+		NewMaxPool("POOL3", 2, 2),                      // 4×4
+		inception("INC4a", 48, 24, 16, 32, 6, 12, s/4), // out 68
+		NewMaxPool("POOL4", 2, 2),                      // 2×2
+		NewFC("FC", 68*(s/8)*(s/8), ScaledClasses, rng),
+	)
+}
+
+// ScaledByName returns the named scaled network, accepting both the scaled
+// name ("AlexNet-S") and the full network name ("AlexNet"). It returns nil
+// for unknown names.
+func ScaledByName(name string, rng *rand.Rand) *Sequential {
+	switch name {
+	case "AlexNet-S", "AlexNet":
+		return AlexNetS(rng)
+	case "VGG-S", "VGGNet-S", "VGGNet", "VGG":
+		return VGGS(rng)
+	case "GoogLeNet-S", "GoogLeNet":
+		return GoogLeNetS(rng)
+	default:
+		return nil
+	}
+}

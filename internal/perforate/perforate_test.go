@@ -1,0 +1,207 @@
+package perforate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFullMask(t *testing.T) {
+	m := Full(4, 3)
+	if !m.IsFull() {
+		t.Fatalf("Full mask not full")
+	}
+	if m.Rate() != 0 {
+		t.Fatalf("Rate = %v, want 0", m.Rate())
+	}
+	if m.SampledCount() != 12 {
+		t.Fatalf("SampledCount = %d, want 12", m.SampledCount())
+	}
+}
+
+func TestGridKeepCounts(t *testing.T) {
+	m := Grid(8, 8, 4, 2)
+	if got := m.SampledCount(); got != 8 {
+		t.Fatalf("SampledCount = %d, want 8 (4×2)", got)
+	}
+	if r := m.Rate(); math.Abs(r-(1-8.0/64)) > 1e-12 {
+		t.Fatalf("Rate = %v, want %v", r, 1-8.0/64)
+	}
+}
+
+func TestGridClamps(t *testing.T) {
+	m := Grid(5, 5, 0, 100)
+	// keepW clamped to 1, keepH clamped to 5.
+	if got := m.SampledCount(); got != 5 {
+		t.Fatalf("SampledCount = %d, want 5", got)
+	}
+}
+
+func TestGridPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Grid(0,3,…) did not panic")
+		}
+	}()
+	Grid(0, 3, 1, 1)
+}
+
+func TestSourceSelfForComputed(t *testing.T) {
+	m := Grid(7, 5, 3, 2)
+	for i, c := range m.Computed {
+		if c && m.Source[i] != i {
+			t.Fatalf("computed position %d has Source %d", i, m.Source[i])
+		}
+		if !c && !m.Computed[m.Source[i]] {
+			t.Fatalf("position %d sources from non-computed %d", i, m.Source[i])
+		}
+	}
+}
+
+func TestFromRateZero(t *testing.T) {
+	if m := FromRate(6, 6, 0); !m.IsFull() {
+		t.Fatalf("FromRate(…, 0) not full")
+	}
+	if m := FromRate(6, 6, -1); !m.IsFull() {
+		t.Fatalf("FromRate(…, -1) not full")
+	}
+}
+
+func TestFromRateApproximatesRate(t *testing.T) {
+	for _, rate := range []float64{0.1, 0.3, 0.5, 0.75} {
+		m := FromRate(32, 32, rate)
+		got := m.Rate()
+		if math.Abs(got-rate) > 0.12 {
+			t.Errorf("FromRate(32,32,%v): achieved rate %v, want within 0.12", rate, got)
+		}
+	}
+}
+
+func TestFromRateNeverEmpty(t *testing.T) {
+	m := FromRate(4, 4, 0.9999)
+	if m.SampledCount() < 1 {
+		t.Fatalf("mask has no computed positions")
+	}
+}
+
+func TestInterpolateBlendsBetweenComputed(t *testing.T) {
+	m := Grid(4, 1, 2, 1) // keeps x=1 and x=3
+	data := make([]float32, 4)
+	data[m.SampledIndices()[0]] = 10
+	data[m.SampledIndices()[1]] = 20
+	m.Interpolate(data, 1)
+	// Positions outside the kept span clamp; positions between blend
+	// linearly: x=2 sits halfway between x=1 (10) and x=3 (20).
+	if data[0] != 10 {
+		t.Fatalf("border position = %v, want clamp to 10", data[0])
+	}
+	if data[2] != 15 {
+		t.Fatalf("midpoint = %v, want bilinear blend 15", data[2])
+	}
+	for _, v := range data {
+		if v < 10 || v > 20 {
+			t.Fatalf("interpolated value %v outside computed range [10,20]", v)
+		}
+	}
+}
+
+func TestInterpolateMultiChannel(t *testing.T) {
+	m := Grid(3, 3, 1, 1)
+	center := m.SampledIndices()[0]
+	data := make([]float32, 2*9)
+	data[center] = 5
+	data[9+center] = 7
+	m.Interpolate(data, 2)
+	for i := 0; i < 9; i++ {
+		if data[i] != 5 {
+			t.Fatalf("channel 0 pos %d = %v, want 5", i, data[i])
+		}
+		if data[9+i] != 7 {
+			t.Fatalf("channel 1 pos %d = %v, want 7", i, data[9+i])
+		}
+	}
+}
+
+func TestInterpolateSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Interpolate with wrong size did not panic")
+		}
+	}()
+	Full(2, 2).Interpolate(make([]float32, 5), 1)
+}
+
+func TestScatter(t *testing.T) {
+	m := Grid(4, 4, 2, 2)
+	vals := []float32{1, 2, 3, 4}
+	plane := make([]float32, 16)
+	m.Scatter(vals, plane)
+	for j, idx := range m.SampledIndices() {
+		if plane[idx] != vals[j] {
+			t.Fatalf("plane[%d] = %v, want %v", idx, plane[idx], vals[j])
+		}
+	}
+}
+
+func TestScatterSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Scatter with wrong sizes did not panic")
+		}
+	}()
+	Grid(4, 4, 2, 2).Scatter(make([]float32, 3), make([]float32, 16))
+}
+
+// Property: every Source points at a computed index; rate is in [0,1);
+// interpolation is idempotent.
+func TestMaskInvariantsProperty(t *testing.T) {
+	f := func(w8, h8, kw8, kh8 uint8) bool {
+		w, h := int(w8%16)+1, int(h8%16)+1
+		m := Grid(w, h, int(kw8%20), int(kh8%20))
+		if m.Rate() < 0 || m.Rate() >= 1.0000001 {
+			return false
+		}
+		for i, src := range m.Source {
+			if src < 0 || src >= w*h || !m.Computed[src] {
+				return false
+			}
+			if m.Computed[i] && src != i {
+				return false
+			}
+		}
+		// Idempotence of interpolation.
+		data := make([]float32, w*h)
+		for j, idx := range m.SampledIndices() {
+			data[idx] = float32(j + 1)
+		}
+		m.Interpolate(data, 1)
+		snapshot := append([]float32(nil), data...)
+		m.Interpolate(data, 1)
+		for i := range data {
+			if data[i] != snapshot[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: increasing the requested rate never increases the computed count.
+func TestFromRateMonotoneProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		ra := math.Mod(math.Abs(a), 1)
+		rb := math.Mod(math.Abs(b), 1)
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		ma := FromRate(24, 24, ra)
+		mb := FromRate(24, 24, rb)
+		return mb.SampledCount() <= ma.SampledCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

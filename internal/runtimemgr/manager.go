@@ -1,0 +1,101 @@
+package runtimemgr
+
+import (
+	"fmt"
+
+	"pcnn/internal/entropy"
+	"pcnn/internal/nn"
+	"pcnn/internal/tensor"
+)
+
+// Manager is the run-time executor of Fig 10: it runs inference at the
+// most aggressive acceptable tuning-table level, monitors the output
+// uncertainty of every batch, and calibrates — backtracks one level along
+// the tuning path (Section IV.C.3) — whenever uncertainty exceeds the
+// threshold. It recovers levels again after a streak of confident batches.
+type Manager struct {
+	net       *nn.Sequential
+	table     *Table
+	threshold float64
+	level     int
+
+	// confidentStreak counts consecutive batches comfortably under the
+	// threshold; RecoverAfter of them re-advance one level.
+	confidentStreak int
+	// RecoverAfter disables level recovery when 0.
+	RecoverAfter int
+
+	calibrations int
+}
+
+// NewManager builds a runtime manager starting at the table's most
+// aggressive entry.
+func NewManager(net *nn.Sequential, table *Table, threshold float64) (*Manager, error) {
+	if len(table.Entries) == 0 {
+		return nil, fmt.Errorf("runtimemgr: empty tuning table")
+	}
+	m := &Manager{
+		net:          net,
+		table:        table,
+		threshold:    threshold,
+		level:        len(table.Entries) - 1,
+		RecoverAfter: 8,
+	}
+	m.applyLevel()
+	return m, nil
+}
+
+// Level returns the current tuning-table level (0 = unperforated).
+func (m *Manager) Level() int { return m.level }
+
+// Calibrations returns how many times the manager backed off a level.
+func (m *Manager) Calibrations() int { return m.calibrations }
+
+// applyLevel programs the network's perforable layers from the table row.
+func (m *Manager) applyLevel() {
+	e := m.table.Entries[m.level]
+	layers := m.net.PerforableLayers()
+	for i, l := range layers {
+		k := e.Keeps[i]
+		ho, wo := l.OutDims()
+		if k.full(wo, ho) {
+			l.SetPerforation(0, 0)
+		} else {
+			l.SetPerforation(k.W, k.H)
+		}
+	}
+}
+
+// Infer classifies a batch at the current level, returning softmax rows
+// and the batch's mean output entropy. If the uncertainty exceeds the
+// threshold, the manager calibrates: it steps one level back along the
+// tuning path before the next batch.
+func (m *Manager) Infer(x *tensor.Tensor) ([][]float32, float64) {
+	probs := m.net.Predict(x)
+	h := entropy.Mean(probs)
+	switch {
+	case h > m.threshold && m.level > 0:
+		m.level--
+		m.calibrations++
+		m.confidentStreak = 0
+		m.applyLevel()
+	case m.RecoverAfter > 0 && h <= m.threshold*0.8 && m.level < len(m.table.Entries)-1:
+		m.confidentStreak++
+		if m.confidentStreak >= m.RecoverAfter {
+			m.level++
+			m.confidentStreak = 0
+			m.applyLevel()
+		}
+	default:
+		m.confidentStreak = 0
+	}
+	return probs, h
+}
+
+// PredictedSpeedup returns the table's speedup at the current level.
+func (m *Manager) PredictedSpeedup() float64 {
+	return m.table.Entries[m.level].Speedup
+}
+
+// Close restores full computation on the managed network.
+func (m *Manager) Close() { m.net.ClearPerforation() }

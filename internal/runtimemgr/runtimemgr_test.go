@@ -1,0 +1,255 @@
+package runtimemgr
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pcnn/internal/nn"
+	"pcnn/internal/tensor"
+	"pcnn/internal/workload"
+)
+
+// The trained fixture is shared across tests: tuning re-perforates the
+// network but never touches weights, and every test restores full
+// computation.
+var fixture struct {
+	once  sync.Once
+	net   *nn.Sequential
+	train *nn.Dataset
+	test  *nn.Dataset
+}
+
+// trainedNet returns a small trained classifier plus probe/test data.
+// Training makes the entropy signal meaningful (≈80% accuracy, mean
+// entropy ≈0.3 nats on the synthetic task).
+func trainedNet(t *testing.T) (*nn.Sequential, *nn.Dataset, *nn.Dataset) {
+	t.Helper()
+	fixture.once.Do(func() {
+		cfg := workload.DefaultSynth()
+		cfg.Noise = 0.8
+		s := workload.NewSynth(cfg)
+		fixture.train, fixture.test = s.TrainTest(384, 96)
+		rng := rand.New(rand.NewSource(7))
+		fixture.net = nn.AlexNetS(rng)
+		nn.Train(fixture.net, fixture.train, 32, 12, nn.NewSGD(0.01, 0.9))
+	})
+	fixture.net.ClearPerforation()
+	return fixture.net, fixture.train, fixture.test
+}
+
+func TestTunerProducesMonotoneSpeedup(t *testing.T) {
+	net, _, test := trainedNet(t)
+	tuner := &Tuner{
+		Net:       net,
+		Probe:     test.X,
+		Threshold: 1.2,
+		MaxIters:  10,
+	}
+	table, err := tuner.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Entries) < 3 {
+		t.Fatalf("tuning table has %d entries, want several iterations", len(table.Entries))
+	}
+	if table.Entries[0].Speedup != 1 || table.Entries[0].TunedLayer != -1 {
+		t.Fatalf("baseline entry malformed: %+v", table.Entries[0])
+	}
+	for i := 1; i < len(table.Entries); i++ {
+		prev, cur := table.Entries[i-1], table.Entries[i]
+		if cur.Speedup <= prev.Speedup {
+			t.Errorf("speedup not increasing at entry %d: %v → %v", i, prev.Speedup, cur.Speedup)
+		}
+		if cur.PredictedMS >= prev.PredictedMS {
+			t.Errorf("predicted time not decreasing at entry %d", i)
+		}
+		if cur.TunedLayer < 0 || cur.TunedLayer >= len(table.LayerNames) {
+			t.Errorf("entry %d tuned layer %d out of range", i, cur.TunedLayer)
+		}
+	}
+	// All committed entries respect the uncertainty budget.
+	for i, e := range table.Entries {
+		if e.Entropy > tuner.Threshold {
+			t.Errorf("entry %d entropy %v exceeds threshold %v", i, e.Entropy, tuner.Threshold)
+		}
+	}
+}
+
+func TestTunerLeavesNetworkUnperforated(t *testing.T) {
+	net, _, test := trainedNet(t)
+	tuner := &Tuner{Net: net, Probe: test.X, Threshold: 1.0, MaxIters: 4}
+	if _, err := tuner.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range net.PerforableLayers() {
+		if w, h := l.Perforation(); w != 0 || h != 0 {
+			t.Fatalf("layer %s left perforated (%d,%d)", l.Name(), w, h)
+		}
+	}
+}
+
+func TestTunerRequiresProbe(t *testing.T) {
+	net, _, _ := trainedNet(t)
+	tuner := &Tuner{Net: net, Threshold: 1}
+	if _, err := tuner.Run(); err == nil {
+		t.Fatal("tuner without probe accepted")
+	}
+}
+
+func TestTunerEachIterationChangesOneLayer(t *testing.T) {
+	net, _, test := trainedNet(t)
+	tuner := &Tuner{Net: net, Probe: test.X, Threshold: 1.2, MaxIters: 6}
+	table, err := tuner.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(table.Entries); i++ {
+		prev, cur := table.Entries[i-1], table.Entries[i]
+		changed := 0
+		for j := range cur.Keeps {
+			if cur.Keeps[j] != prev.Keeps[j] {
+				changed++
+				if j != cur.TunedLayer {
+					t.Errorf("entry %d: layer %d changed but TunedLayer=%d", i, j, cur.TunedLayer)
+				}
+			}
+		}
+		if changed != 1 {
+			t.Errorf("entry %d changed %d layers, want exactly 1 (Fig 12)", i, changed)
+		}
+	}
+}
+
+func TestKeepFractions(t *testing.T) {
+	net, _, test := trainedNet(t)
+	tuner := &Tuner{Net: net, Probe: test.X, Threshold: 1.2, MaxIters: 5}
+	table, err := tuner.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	layers := net.PerforableLayers()
+	dims := make([]KeepGrid, len(layers))
+	for i, l := range layers {
+		ho, wo := l.OutDims()
+		dims[i] = KeepGrid{W: wo, H: ho}
+	}
+	fr0 := table.KeepFractions(0, dims)
+	for name, f := range fr0 {
+		if f != 1 {
+			t.Errorf("baseline fraction %s = %v, want 1", name, f)
+		}
+	}
+	last := table.KeepFractions(len(table.Entries)-1, dims)
+	anyBelow := false
+	for name, f := range last {
+		if f <= 0 || f > 1 {
+			t.Errorf("fraction %s = %v out of range", name, f)
+		}
+		if f < 1 {
+			anyBelow = true
+		}
+	}
+	if !anyBelow {
+		t.Errorf("most aggressive level perforates nothing")
+	}
+}
+
+func TestFLOPsTimeModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := nn.AlexNetS(rng)
+	model := FLOPsTimeModel(net)
+	layers := net.PerforableLayers()
+	full := make([]KeepGrid, len(layers))
+	for i, l := range layers {
+		ho, wo := l.OutDims()
+		full[i] = KeepGrid{W: wo, H: ho}
+	}
+	tFull := model(full)
+	halved := append([]KeepGrid(nil), full...)
+	halved[0] = KeepGrid{W: full[0].W / 2, H: full[0].H}
+	tHalf := model(halved)
+	if !(tHalf < tFull) {
+		t.Fatalf("halving a layer did not reduce modelled time: %v vs %v", tHalf, tFull)
+	}
+}
+
+func TestManagerCalibratesOnNoisyInput(t *testing.T) {
+	net, _, test := trainedNet(t)
+	tuner := &Tuner{Net: net, Probe: test.X, Threshold: 1.1, MaxIters: 10}
+	table, err := tuner.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The manager's own threshold sits below the uncertainty that
+	// low-amplitude noise induces (≈0.97 nats on this fixture), so
+	// sustained noise must walk the level all the way back.
+	mgr, err := NewManager(net, table, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	mgr.RecoverAfter = 0
+	startLevel := mgr.Level()
+	if startLevel != len(table.Entries)-1 {
+		t.Fatalf("manager starts at level %d, want most aggressive %d", startLevel, len(table.Entries)-1)
+	}
+	rng := rand.New(rand.NewSource(9))
+	noise := tensor.New(16, 3, nn.ScaledInputSize, nn.ScaledInputSize)
+	for i := range noise.Data {
+		noise.Data[i] = float32(rng.NormFloat64() * 0.5)
+	}
+	for i := 0; i < len(table.Entries)+2; i++ {
+		mgr.Infer(noise)
+	}
+	if mgr.Level() != 0 {
+		t.Fatalf("manager level %d after sustained noise, want 0", mgr.Level())
+	}
+	if mgr.Calibrations() == 0 {
+		t.Fatalf("no calibrations recorded")
+	}
+}
+
+func TestManagerRecoversOnConfidentInput(t *testing.T) {
+	net, _, test := trainedNet(t)
+	tuner := &Tuner{Net: net, Probe: test.X, Threshold: 1.1, MaxIters: 8}
+	table, err := tuner.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Entries) < 2 {
+		t.Skip("tuning produced no aggressive levels")
+	}
+	mgr, err := NewManager(net, table, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	mgr.RecoverAfter = 2
+	// Force a back-off with low-amplitude noise (maximally uncertain for
+	// this fixture)…
+	rng := rand.New(rand.NewSource(10))
+	noise := tensor.New(8, 3, nn.ScaledInputSize, nn.ScaledInputSize)
+	for i := range noise.Data {
+		noise.Data[i] = float32(rng.NormFloat64() * 0.5)
+	}
+	mgr.Infer(noise)
+	dropped := mgr.Level()
+	if dropped == len(table.Entries)-1 {
+		t.Skip("noise did not trigger calibration at this threshold")
+	}
+	// …then feed confident data until the level recovers.
+	for i := 0; i < 10 && mgr.Level() <= dropped; i++ {
+		mgr.Infer(test.X)
+	}
+	if mgr.Level() <= dropped {
+		t.Fatalf("level never recovered above %d", dropped)
+	}
+}
+
+func TestManagerEmptyTable(t *testing.T) {
+	net, _, _ := trainedNet(t)
+	if _, err := NewManager(net, &Table{}, 1); err == nil {
+		t.Fatal("empty table accepted")
+	}
+}

@@ -1,0 +1,52 @@
+package runtimemgr
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Tuning-table serialization: accuracy tuning runs once against probe
+// data and its table ships with the deployment so the runtime manager can
+// start at the right level and calibrate without re-tuning.
+
+// tableFileVersion guards the on-disk format.
+const tableFileVersion = 1
+
+// tableFile is the serialized form.
+type tableFile struct {
+	Version    int          `json:"version"`
+	LayerNames []string     `json:"layers"`
+	Entries    []TableEntry `json:"entries"`
+}
+
+// Save writes the tuning table as JSON.
+func (t *Table) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tableFile{
+		Version:    tableFileVersion,
+		LayerNames: t.LayerNames,
+		Entries:    t.Entries,
+	})
+}
+
+// LoadTable reads a table saved by Save and validates its shape.
+func LoadTable(r io.Reader) (*Table, error) {
+	var f tableFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("runtimemgr: decode table: %w", err)
+	}
+	if f.Version != tableFileVersion {
+		return nil, fmt.Errorf("runtimemgr: table file version %d, want %d", f.Version, tableFileVersion)
+	}
+	if len(f.Entries) == 0 {
+		return nil, fmt.Errorf("runtimemgr: table file has no entries")
+	}
+	for i, e := range f.Entries {
+		if len(e.Keeps) != len(f.LayerNames) {
+			return nil, fmt.Errorf("runtimemgr: entry %d has %d keeps for %d layers", i, len(e.Keeps), len(f.LayerNames))
+		}
+	}
+	return &Table{LayerNames: f.LayerNames, Entries: f.Entries}, nil
+}

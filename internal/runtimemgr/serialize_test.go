@@ -1,0 +1,45 @@
+package runtimemgr
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableSaveLoadRoundTrip(t *testing.T) {
+	orig := &Table{
+		LayerNames: []string{"CONV1", "CONV2"},
+		Entries: []TableEntry{
+			{Keeps: []KeepGrid{{8, 8}, {4, 4}}, PredictedMS: 10, Entropy: 0.2, Speedup: 1, TunedLayer: -1},
+			{Keeps: []KeepGrid{{6, 6}, {4, 4}}, PredictedMS: 8, Entropy: 0.3, Speedup: 1.25, TunedLayer: 0},
+		},
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 2 || got.LayerNames[1] != "CONV2" {
+		t.Fatalf("round trip lost structure: %+v", got)
+	}
+	if got.Entries[1].Keeps[0] != (KeepGrid{6, 6}) || got.Entries[1].Speedup != 1.25 {
+		t.Fatalf("entry data changed: %+v", got.Entries[1])
+	}
+}
+
+func TestLoadTableRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":       "{",
+		"bad version":    `{"version": 9, "layers": ["a"], "entries": [{"Keeps": [{"W":1,"H":1}]}]}`,
+		"empty":          `{"version": 1, "layers": ["a"], "entries": []}`,
+		"keeps mismatch": `{"version": 1, "layers": ["a", "b"], "entries": [{"Keeps": [{"W":1,"H":1}]}]}`,
+	}
+	for name, body := range cases {
+		if _, err := LoadTable(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package satisfaction
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEvaluationTasksValidate(t *testing.T) {
+	for _, task := range EvaluationTasks() {
+		if err := task.Validate(); err != nil {
+			t.Errorf("%s: %v", task.Name, err)
+		}
+	}
+}
+
+func TestSoCTimeInteractiveRegions(t *testing.T) {
+	task := AgeDetection() // Ti=100, Tt=3000
+	cases := []struct {
+		ms   float64
+		want float64
+	}{
+		{10, 1},
+		{100, 1},
+		{1550, 0.5},
+		{3000, 0},
+		{9999, 0},
+	}
+	for _, c := range cases {
+		if got := task.SoCTime(c.ms); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("SoCTime(%v) = %v, want %v", c.ms, got, c.want)
+		}
+	}
+}
+
+func TestSoCTimeRealTimeHardDeadline(t *testing.T) {
+	task := VideoSurveillance(60) // deadline 16.67ms
+	if got := task.SoCTime(16.0); got != 1 {
+		t.Errorf("under deadline: %v, want 1", got)
+	}
+	if got := task.SoCTime(17.0); got != 0 {
+		t.Errorf("over deadline: %v, want 0 (no tolerable region)", got)
+	}
+}
+
+func TestSoCTimeBackgroundAlwaysOne(t *testing.T) {
+	task := ImageTagging()
+	for _, ms := range []float64{1, 1e4, 1e8} {
+		if got := task.SoCTime(ms); got != 1 {
+			t.Fatalf("SoCTime(%v) = %v, want 1", ms, got)
+		}
+	}
+	if !math.IsInf(task.Deadline(), 1) {
+		t.Fatalf("background deadline should be +Inf")
+	}
+}
+
+func TestSoCAccuracy(t *testing.T) {
+	task := Task{Name: "t", Class: Background, EntropyThreshold: 0.5}
+	if got := task.SoCAccuracy(0.3); got != 1 {
+		t.Errorf("under threshold: %v, want 1", got)
+	}
+	if got := task.SoCAccuracy(1.0); got != 0.5 {
+		t.Errorf("over threshold: %v, want 0.5", got)
+	}
+}
+
+func TestSoCEq15(t *testing.T) {
+	task := AgeDetection()
+	soc := task.SoC(50, 0.5, 2) // imperceptible, confident, 2 J/image
+	if math.Abs(soc-0.5) > 1e-9 {
+		t.Errorf("SoC = %v, want 0.5", soc)
+	}
+	if got := task.SoC(50, 0.5, 0); got != 0 {
+		t.Errorf("zero energy SoC = %v, want 0", got)
+	}
+}
+
+func TestSoCPrefersLessEnergy(t *testing.T) {
+	task := ImageTagging()
+	if !(task.SoC(100, 0.1, 1) > task.SoC(100, 0.1, 2)) {
+		t.Fatalf("SoC should rise as energy falls")
+	}
+}
+
+func TestDeadlines(t *testing.T) {
+	if got := AgeDetection().Deadline(); got != 3000 {
+		t.Errorf("interactive deadline %v, want 3000 (Tt)", got)
+	}
+	if got := VideoSurveillance(60).Deadline(); math.Abs(got-1000.0/60) > 1e-9 {
+		t.Errorf("real-time deadline %v, want 16.67", got)
+	}
+	if got := AgeDetection().TimeBudget(); got != 100 {
+		t.Errorf("interactive budget %v, want 100 (Ti)", got)
+	}
+}
+
+func TestInferTask(t *testing.T) {
+	rt := InferTask("pedestrians", false, 30)
+	if rt.Class != RealTime || math.Abs(rt.TiMS-1000.0/30) > 1e-9 {
+		t.Errorf("frame-rate app inferred %v", rt)
+	}
+	ia := InferTask("prisma", true, 0)
+	if ia.Class != Interactive {
+		t.Errorf("user-facing app inferred %v", ia.Class)
+	}
+	bg := InferTask("moments", false, 0)
+	if bg.Class != Background {
+		t.Errorf("background app inferred %v", bg.Class)
+	}
+}
+
+func TestValidateRejectsBadTasks(t *testing.T) {
+	bad := []Task{
+		{Name: "i", Class: Interactive, TiMS: 0, TtMS: 10},
+		{Name: "i2", Class: Interactive, TiMS: 20, TtMS: 10},
+		{Name: "r", Class: RealTime, TiMS: 0},
+		{Name: "e", Class: Background, EntropyThreshold: -1},
+	}
+	for _, task := range bad {
+		if err := task.Validate(); err == nil {
+			t.Errorf("%s: invalid task accepted", task.Name)
+		}
+	}
+}
+
+// Property: SoCTime is non-increasing in response time and bounded to [0,1].
+func TestSoCTimeMonotoneProperty(t *testing.T) {
+	tasks := EvaluationTasks()
+	f := func(a, b float64, which uint8) bool {
+		task := tasks[int(which)%len(tasks)]
+		ra := math.Abs(math.Mod(a, 5000))
+		rb := math.Abs(math.Mod(b, 5000))
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		sa, sb := task.SoCTime(ra), task.SoCTime(rb)
+		return sb <= sa+1e-12 && sa >= 0 && sa <= 1 && sb >= 0 && sb <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SoCAccuracy is non-increasing in entropy and bounded to [0,1].
+func TestSoCAccuracyMonotoneProperty(t *testing.T) {
+	task := AgeDetection()
+	f := func(a, b float64) bool {
+		ea := math.Abs(math.Mod(a, 3))
+		eb := math.Abs(math.Mod(b, 3))
+		if ea > eb {
+			ea, eb = eb, ea
+		}
+		sa, sb := task.SoCAccuracy(ea), task.SoCAccuracy(eb)
+		return sb <= sa+1e-12 && sa >= 0 && sa <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+package tensor
+
+import "fmt"
+
+// MatMul computes C = A·B for 2-D tensors A (M×K) and B (K×N), writing
+// into a freshly allocated C (M×N). It is the compute core that im2col
+// convolution and fully-connected layers lower to, mirroring how the
+// paper's convolutional kernels lower to SGEMM.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires rank-2 operands, got %v × %v", a.Shape(), b.Shape()))
+	}
+	m, k := a.Dim(0), a.Dim(1)
+	k2, n := b.Dim(0), b.Dim(1)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimensions differ: %d vs %d", k, k2))
+	}
+	c := New(m, n)
+	MatMulInto(c, a, b)
+	return c
+}
+
+// MatMulInto computes C = A·B into an existing C, which must be M×N.
+// The loop order (i,k,j) streams B and C rows for cache friendliness.
+func MatMulInto(c, a, b *Tensor) {
+	m, k := a.Dim(0), a.Dim(1)
+	n := b.Dim(1)
+	if c.Dim(0) != m || c.Dim(1) != n {
+		panic(fmt.Sprintf("tensor: MatMulInto output shape %v, want [%d %d]", c.Shape(), m, n))
+	}
+	ad, bd, cd := a.Data, b.Data, c.Data
+	for i := 0; i < m; i++ {
+		crow := cd[i*n : (i+1)*n]
+		for j := range crow {
+			crow[j] = 0
+		}
+		arow := ad[i*k : (i+1)*k]
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := bd[kk*n : (kk+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransA computes C = Aᵀ·B where A is K×M and B is K×N, producing
+// M×N. Used by convolution backward passes.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	k, m := a.Dim(0), a.Dim(1)
+	k2, n := b.Dim(0), b.Dim(1)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dimensions differ: %d vs %d", k, k2))
+	}
+	c := New(m, n)
+	ad, bd, cd := a.Data, b.Data, c.Data
+	for kk := 0; kk < k; kk++ {
+		arow := ad[kk*m : (kk+1)*m]
+		brow := bd[kk*n : (kk+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := cd[i*n : (i+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// MatMulTransB computes C = A·Bᵀ where A is M×K and B is N×K, producing
+// M×N. Used by convolution backward passes.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	m, k := a.Dim(0), a.Dim(1)
+	n, k2 := b.Dim(0), b.Dim(1)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dimensions differ: %d vs %d", k, k2))
+	}
+	c := New(m, n)
+	ad, bd, cd := a.Data, b.Data, c.Data
+	for i := 0; i < m; i++ {
+		arow := ad[i*k : (i+1)*k]
+		crow := cd[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := bd[j*k : (j+1)*k]
+			var s float32
+			for kk, av := range arow {
+				s += av * brow[kk]
+			}
+			crow[j] = s
+		}
+	}
+	return c
+}

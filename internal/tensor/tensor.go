@@ -1,0 +1,215 @@
+// Package tensor provides dense float32 tensors in NCHW layout and the
+// small set of linear-algebra operations the CNN engine is built on.
+//
+// The package is deliberately minimal: it exists to support a faithful,
+// dependency-free reproduction of CNN inference, not to be a general
+// numerical library. All data is stored row-major in a single contiguous
+// slice so that convolution can be lowered to GEMM over flat views.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense float32 tensor with an arbitrary-rank shape.
+// Data is stored row-major (last dimension fastest).
+type Tensor struct {
+	shape   []int
+	strides []int
+	Data    []float32
+}
+
+// New allocates a zero-filled tensor with the given shape.
+// A scalar tensor may be created with no dimensions.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	t := &Tensor{
+		shape: append([]int(nil), shape...),
+		Data:  make([]float32, n),
+	}
+	t.strides = computeStrides(t.shape)
+	return t
+}
+
+// FromSlice wraps data with the given shape. The data slice is used
+// directly (not copied); its length must equal the shape volume.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (volume %d)", len(data), shape, n))
+	}
+	t := &Tensor{
+		shape: append([]int(nil), shape...),
+		Data:  data,
+	}
+	t.strides = computeStrides(t.shape)
+	return t
+}
+
+func computeStrides(shape []int) []int {
+	strides := make([]int, len(shape))
+	s := 1
+	for i := len(shape) - 1; i >= 0; i-- {
+		strides[i] = s
+		s *= shape[i]
+	}
+	return strides
+}
+
+// Shape returns a copy of the tensor's shape.
+func (t *Tensor) Shape() []int { return append([]int(nil), t.shape...) }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// At returns the element at the given multi-dimensional index.
+func (t *Tensor) At(idx ...int) float32 {
+	return t.Data[t.offset(idx)]
+}
+
+// Set stores v at the given multi-dimensional index.
+func (t *Tensor) Set(v float32, idx ...int) {
+	t.Data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match tensor rank %d", len(idx), len(t.shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off += x * t.strides[i]
+	}
+	return off
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Reshape returns a view of the same data with a new shape.
+// The new shape must have the same volume.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape volume %d to %v", len(t.Data), shape))
+	}
+	v := &Tensor{
+		shape: append([]int(nil), shape...),
+		Data:  t.Data,
+	}
+	v.strides = computeStrides(v.shape)
+	return v
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() { t.Fill(0) }
+
+// Scale multiplies every element by a.
+func (t *Tensor) Scale(a float32) {
+	for i := range t.Data {
+		t.Data[i] *= a
+	}
+}
+
+// AddScaled adds a*o to t element-wise. Shapes must match in volume.
+func (t *Tensor) AddScaled(o *Tensor, a float32) {
+	if len(o.Data) != len(t.Data) {
+		panic(fmt.Sprintf("tensor: AddScaled volume mismatch %d vs %d", len(t.Data), len(o.Data)))
+	}
+	for i, v := range o.Data {
+		t.Data[i] += a * v
+	}
+}
+
+// Add adds o to t element-wise.
+func (t *Tensor) Add(o *Tensor) { t.AddScaled(o, 1) }
+
+// Sum returns the sum of all elements, accumulated in float64.
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += float64(v)
+	}
+	return s
+}
+
+// MaxAbs returns the maximum absolute element value.
+func (t *Tensor) MaxAbs() float32 {
+	var m float32
+	for _, v := range t.Data {
+		if a := float32(math.Abs(float64(v))); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Argmax returns the flat index of the maximum element.
+// It panics on an empty tensor.
+func (t *Tensor) Argmax() int {
+	if len(t.Data) == 0 {
+		panic("tensor: Argmax of empty tensor")
+	}
+	best := 0
+	for i, v := range t.Data {
+		if v > t.Data[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// String renders a compact description (shape plus a few leading values).
+func (t *Tensor) String() string {
+	n := len(t.Data)
+	if n > 6 {
+		n = 6
+	}
+	return fmt.Sprintf("Tensor%v%v…", t.shape, t.Data[:n])
+}
+
+// AllClose reports whether all elements of a and b differ by at most tol.
+func AllClose(a, b *Tensor, tol float32) bool {
+	if len(a.Data) != len(b.Data) {
+		return false
+	}
+	for i := range a.Data {
+		if float32(math.Abs(float64(a.Data[i]-b.Data[i]))) > tol {
+			return false
+		}
+	}
+	return true
+}

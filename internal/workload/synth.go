@@ -1,0 +1,143 @@
+// Package workload generates the synthetic inputs of the reproduction:
+// a deterministic template-classification dataset standing in for the
+// ImageNet validation data (see DESIGN.md's substitution table), and the
+// request-arrival patterns of the paper's three task archetypes.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pcnn/internal/nn"
+	"pcnn/internal/tensor"
+)
+
+// SynthConfig parameterizes the synthetic classification task.
+type SynthConfig struct {
+	Classes int
+	C, H, W int
+	// Noise is the standard deviation of the additive Gaussian noise; it
+	// sets task difficulty (0.6–1.0 lands trained scaled nets in the
+	// 70–95% accuracy band of Table I).
+	Noise float64
+	// Jitter is the maximum circular spatial shift applied per sample.
+	Jitter int
+	Seed   int64
+}
+
+// DefaultSynth returns the configuration used by the accuracy experiments:
+// matched to the scaled networks' input geometry.
+func DefaultSynth() SynthConfig {
+	return SynthConfig{
+		Classes: nn.ScaledClasses,
+		C:       3,
+		H:       nn.ScaledInputSize,
+		W:       nn.ScaledInputSize,
+		Noise:   0.9,
+		Jitter:  2,
+		Seed:    1,
+	}
+}
+
+// Synth is a generator of labelled samples drawn from per-class smooth
+// prototype patterns plus noise and jitter.
+type Synth struct {
+	cfg        SynthConfig
+	prototypes []*tensor.Tensor
+	rng        *rand.Rand
+}
+
+// NewSynth builds the class prototypes deterministically from cfg.Seed.
+func NewSynth(cfg SynthConfig) *Synth {
+	if cfg.Classes <= 0 || cfg.C <= 0 || cfg.H <= 0 || cfg.W <= 0 {
+		panic(fmt.Sprintf("workload: invalid synth config %+v", cfg))
+	}
+	s := &Synth{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	for k := 0; k < cfg.Classes; k++ {
+		s.prototypes = append(s.prototypes, smoothPattern(s.rng, cfg.C, cfg.H, cfg.W))
+	}
+	return s
+}
+
+// smoothPattern produces a low-frequency random pattern: white noise
+// box-blurred twice, then normalized to unit max amplitude. Smoothness
+// gives the spatial redundancy that perforation exploits (Section IV.C.1).
+func smoothPattern(rng *rand.Rand, c, h, w int) *tensor.Tensor {
+	t := tensor.New(c, h, w)
+	for i := range t.Data {
+		t.Data[i] = float32(rng.NormFloat64())
+	}
+	for pass := 0; pass < 2; pass++ {
+		blur(t, c, h, w)
+	}
+	if mx := t.MaxAbs(); mx > 0 {
+		t.Scale(1 / mx)
+	}
+	return t
+}
+
+// blur applies a 3×3 box filter per channel in place (clamped borders).
+func blur(t *tensor.Tensor, c, h, w int) {
+	tmp := make([]float32, h*w)
+	for ci := 0; ci < c; ci++ {
+		plane := t.Data[ci*h*w : (ci+1)*h*w]
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				var s float32
+				var n float32
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						yy, xx := y+dy, x+dx
+						if yy >= 0 && yy < h && xx >= 0 && xx < w {
+							s += plane[yy*w+xx]
+							n++
+						}
+					}
+				}
+				tmp[y*w+x] = s / n
+			}
+		}
+		copy(plane, tmp)
+	}
+}
+
+// Sample writes one sample of class k into dst (length C·H·W) and returns
+// the label.
+func (s *Synth) sample(dst []float32, k int) {
+	proto := s.prototypes[k]
+	dy := s.rng.Intn(2*s.cfg.Jitter+1) - s.cfg.Jitter
+	dx := s.rng.Intn(2*s.cfg.Jitter+1) - s.cfg.Jitter
+	h, w := s.cfg.H, s.cfg.W
+	for c := 0; c < s.cfg.C; c++ {
+		src := proto.Data[c*h*w : (c+1)*h*w]
+		out := dst[c*h*w : (c+1)*h*w]
+		for y := 0; y < h; y++ {
+			yy := ((y+dy)%h + h) % h
+			for x := 0; x < w; x++ {
+				xx := ((x+dx)%w + w) % w
+				out[y*w+x] = src[yy*w+xx] + float32(s.rng.NormFloat64()*s.cfg.Noise)
+			}
+		}
+	}
+}
+
+// Dataset generates n labelled samples with classes cycling round-robin
+// (so every class is equally represented).
+func (s *Synth) Dataset(n int) *nn.Dataset {
+	cfg := s.cfg
+	x := tensor.New(n, cfg.C, cfg.H, cfg.W)
+	labels := make([]int, n)
+	per := cfg.C * cfg.H * cfg.W
+	for i := 0; i < n; i++ {
+		k := i % cfg.Classes
+		labels[i] = k
+		s.sample(x.Data[i*per:(i+1)*per], k)
+	}
+	return &nn.Dataset{X: x, Labels: labels}
+}
+
+// TrainTest generates disjoint train and test sets from the same
+// generator state.
+func (s *Synth) TrainTest(nTrain, nTest int) (train, test *nn.Dataset) {
+	return s.Dataset(nTrain), s.Dataset(nTest)
+}

@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"testing"
+
+	"pcnn/internal/nn"
+)
+
+func TestDatasetShapeAndLabels(t *testing.T) {
+	s := NewSynth(DefaultSynth())
+	d := s.Dataset(20)
+	if d.Len() != 20 {
+		t.Fatalf("Len = %d, want 20", d.Len())
+	}
+	shape := d.X.Shape()
+	want := []int{20, 3, nn.ScaledInputSize, nn.ScaledInputSize}
+	for i, v := range want {
+		if shape[i] != v {
+			t.Fatalf("shape %v, want %v", shape, want)
+		}
+	}
+	// Round-robin labels cover every class equally.
+	counts := map[int]int{}
+	for _, l := range d.Labels {
+		counts[l]++
+	}
+	if len(counts) != DefaultSynth().Classes {
+		t.Fatalf("only %d classes present", len(counts))
+	}
+	for k, c := range counts {
+		if c != 20/DefaultSynth().Classes && c != 20/DefaultSynth().Classes+1 {
+			t.Fatalf("class %d count %d unbalanced", k, c)
+		}
+	}
+}
+
+func TestDeterministicForSameSeed(t *testing.T) {
+	a := NewSynth(DefaultSynth()).Dataset(8)
+	b := NewSynth(DefaultSynth()).Dataset(8)
+	for i := range a.X.Data {
+		if a.X.Data[i] != b.X.Data[i] {
+			t.Fatalf("datasets differ at %d for same seed", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	cfg := DefaultSynth()
+	a := NewSynth(cfg).Dataset(8)
+	cfg.Seed = 99
+	b := NewSynth(cfg).Dataset(8)
+	same := true
+	for i := range a.X.Data {
+		if a.X.Data[i] != b.X.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced identical data")
+	}
+}
+
+func TestTrainTestDisjointStreams(t *testing.T) {
+	s := NewSynth(DefaultSynth())
+	train, test := s.TrainTest(16, 16)
+	// Same class cycle but different noise draws: the tensors must differ.
+	same := true
+	for i := range train.X.Data {
+		if train.X.Data[i] != test.X.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("train and test sets are identical")
+	}
+}
+
+func TestSignalVisibleAboveNoise(t *testing.T) {
+	cfg := DefaultSynth()
+	cfg.Noise = 0 // pure prototypes (plus jitter)
+	s := NewSynth(cfg)
+	d := s.Dataset(cfg.Classes * 2)
+	// Two samples of the same class correlate strongly; different classes
+	// do not (prototypes are independent random patterns).
+	corr := func(a, b []float32) float64 {
+		var num, na, nb float64
+		for i := range a {
+			num += float64(a[i]) * float64(b[i])
+			na += float64(a[i]) * float64(a[i])
+			nb += float64(b[i]) * float64(b[i])
+		}
+		if na == 0 || nb == 0 {
+			return 0
+		}
+		return num / (na * nb)
+	}
+	per := 3 * nn.ScaledInputSize * nn.ScaledInputSize
+	x := d.X.Data
+	sameClass := corr(x[0:per], x[cfg.Classes*per:(cfg.Classes+1)*per])
+	diffClass := corr(x[0:per], x[per:2*per])
+	if sameClass <= diffClass {
+		t.Fatalf("same-class correlation %v not above cross-class %v", sameClass, diffClass)
+	}
+}
+
+func TestNewSynthPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("invalid config accepted")
+		}
+	}()
+	NewSynth(SynthConfig{Classes: 0, C: 3, H: 8, W: 8})
+}

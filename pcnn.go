@@ -1,0 +1,169 @@
+// Package pcnn is the public API of the P-CNN reproduction — a
+// user-satisfaction-aware CNN inference framework across GPU
+// microarchitectures (Song et al., HPCA 2017), rebuilt in pure Go on a
+// simulated GPU substrate.
+//
+// The typical flow mirrors the paper's Fig 10:
+//
+//	dev := pcnn.PlatformByName("TX1")
+//	task := pcnn.VideoSurveillance(60)
+//	fw, _ := pcnn.New("AlexNet", dev, task)
+//	fw.CompileOffline()                    // batch + kernels + optSM/optTLP
+//	lab := pcnn.NewLab(1)
+//	net, _ := lab.TrainNet("AlexNet")      // trained scaled analogue
+//	fw.AttachScaled(net, lab.Test.X)       // entropy-based accuracy tuning
+//	outcomes, _ := fw.Evaluate()           // P-CNN vs the baseline schedulers
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record of every table and figure.
+package pcnn
+
+import (
+	"io"
+	"pcnn/internal/compile"
+	"pcnn/internal/core"
+	"pcnn/internal/gpu"
+	"pcnn/internal/nn"
+	"pcnn/internal/satisfaction"
+	"pcnn/internal/sched"
+)
+
+// Re-exported types. Aliases keep the internal packages private while
+// letting callers hold and pass the framework's values.
+type (
+	// Device describes one GPU microarchitecture (Table II / Table VI).
+	Device = gpu.Device
+	// Task describes a CNN application's requirements (Section II.B).
+	Task = satisfaction.Task
+	// TaskClass is the interactive / real-time / background taxonomy.
+	TaskClass = satisfaction.TaskClass
+	// NetShape is a full-size network shape table (AlexNet, VGGNet,
+	// GoogLeNet) consumed by the analytical models.
+	NetShape = nn.NetShape
+	// Network is an executable (trainable, perforable) scaled network.
+	Network = nn.Sequential
+	// Dataset is a labelled sample set for the executable networks.
+	Dataset = nn.Dataset
+	// Plan is an offline-compilation result: batch, tuned kernel and
+	// (optSM, optTLP) per layer.
+	Plan = compile.Plan
+	// Framework is P-CNN deployed for one (network, device, task).
+	Framework = core.Framework
+	// Lab bundles the synthetic task and training recipe behind the
+	// accuracy experiments.
+	Lab = core.Lab
+	// Scheduler is one scheduling policy (P-CNN or a baseline).
+	Scheduler = sched.Scheduler
+	// Outcome is a scheduler's simulated result: response time, energy,
+	// entropy and SoC.
+	Outcome = sched.Outcome
+	// Scenario fixes what the scheduler suite compares on.
+	Scenario = sched.Scenario
+	// TuningPoint is one transferred accuracy-tuning level.
+	TuningPoint = sched.TuningPoint
+)
+
+// Task classes.
+const (
+	Interactive = satisfaction.Interactive
+	RealTime    = satisfaction.RealTime
+	Background  = satisfaction.Background
+)
+
+// Platforms returns the four evaluation devices of Table II
+// (K20c, TitanX, GTX970m, TX1).
+func Platforms() []*Device { return gpu.AllPlatforms() }
+
+// PlatformByName returns the named device or nil.
+func PlatformByName(name string) *Device { return gpu.PlatformByName(name) }
+
+// Networks returns the three characterization network shapes.
+func Networks() []*NetShape { return nn.AllNetShapes() }
+
+// NetworkByName returns the named shape table or nil.
+func NetworkByName(name string) *NetShape { return nn.NetShapeByName(name) }
+
+// AgeDetection returns the paper's interactive evaluation task.
+func AgeDetection() Task { return satisfaction.AgeDetection() }
+
+// VideoSurveillance returns the real-time evaluation task at the given
+// frame rate.
+func VideoSurveillance(fps float64) Task { return satisfaction.VideoSurveillance(fps) }
+
+// ImageTagging returns the background evaluation task.
+func ImageTagging() Task { return satisfaction.ImageTagging() }
+
+// EvaluationTasks returns the three Section V.C scenario tasks.
+func EvaluationTasks() []Task { return satisfaction.EvaluationTasks() }
+
+// InferTask classifies an application and infers its requirements
+// (Section IV.A's user-input module).
+func InferTask(name string, userFacing bool, frameRateHz float64) Task {
+	return satisfaction.InferTask(name, userFacing, frameRateHz)
+}
+
+// New creates a P-CNN framework for the named network on a device for a
+// task.
+func New(netName string, dev *Device, task Task) (*Framework, error) {
+	return core.New(netName, dev, task)
+}
+
+// Compile runs cross-platform offline compilation directly (without a
+// Framework) and returns the plan.
+func Compile(net *NetShape, dev *Device, task Task) (*Plan, error) {
+	return compile.Compile(net, dev, task)
+}
+
+// NewLab builds the synthetic-task accuracy laboratory.
+func NewLab(seed int64) *Lab { return core.NewLab(seed) }
+
+// Schedulers returns the evaluation suite: Performance-preferred,
+// Energy-efficient, QPE, QPE+, P-CNN and the Ideal oracle.
+func Schedulers() []Scheduler { return sched.All() }
+
+// SharedResult reports a spatial-multitasking co-run (Plan.SimulateShared).
+type SharedResult = compile.SharedResult
+
+// FreqLevels returns the selectable DVFS core-clock fractions, highest
+// first, for Plan.ApplyDVFS.
+func FreqLevels() []float64 {
+	return append([]float64(nil), gpu.DefaultFreqLevels...)
+}
+
+// LoadPlan reads a plan previously written with Plan.Save.
+func LoadPlan(r io.Reader) (*Plan, error) { return compile.LoadPlan(r) }
+
+// Deploy is the one-call convenience path: it resolves the network and
+// platform by name, compiles offline, trains the scaled analogue on the
+// lab task, and attaches the accuracy tuner. Training takes a few seconds
+// of CPU time.
+func Deploy(netName, platformName string, task Task) (*Framework, error) {
+	dev := PlatformByName(platformName)
+	if dev == nil {
+		return nil, &UnknownPlatformError{Name: platformName}
+	}
+	fw, err := New(netName, dev, task)
+	if err != nil {
+		return nil, err
+	}
+	if err := fw.CompileOffline(); err != nil {
+		return nil, err
+	}
+	lab := NewLab(1)
+	net, err := lab.TrainNet(netName)
+	if err != nil {
+		return nil, err
+	}
+	if err := fw.AttachScaled(net, lab.Test.X); err != nil {
+		return nil, err
+	}
+	return fw, nil
+}
+
+// UnknownPlatformError reports an unrecognized platform name.
+type UnknownPlatformError struct{ Name string }
+
+// Error implements error.
+func (e *UnknownPlatformError) Error() string {
+	return "pcnn: unknown platform " + e.Name + " (want K20c, TitanX, GTX970m or TX1)"
+}

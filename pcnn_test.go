@@ -1,0 +1,76 @@
+package pcnn
+
+import "testing"
+
+func TestPlatformsAndNetworks(t *testing.T) {
+	if got := len(Platforms()); got != 4 {
+		t.Fatalf("Platforms() = %d, want 4", got)
+	}
+	if got := len(Networks()); got != 3 {
+		t.Fatalf("Networks() = %d, want 3", got)
+	}
+	if PlatformByName("TX1") == nil || NetworkByName("VGGNet") == nil {
+		t.Fatalf("lookups failed")
+	}
+}
+
+func TestEvaluationTasksClasses(t *testing.T) {
+	tasks := EvaluationTasks()
+	if len(tasks) != 3 {
+		t.Fatalf("EvaluationTasks() = %d, want 3", len(tasks))
+	}
+	want := []TaskClass{Interactive, RealTime, Background}
+	for i, task := range tasks {
+		if task.Class != want[i] {
+			t.Errorf("task %d class %v, want %v", i, task.Class, want[i])
+		}
+	}
+}
+
+func TestCompileFacade(t *testing.T) {
+	plan, err := Compile(NetworkByName("AlexNet"), PlatformByName("K20c"), AgeDetection())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Batch != 1 || len(plan.Layers) == 0 {
+		t.Fatalf("facade plan malformed: batch=%d layers=%d", plan.Batch, len(plan.Layers))
+	}
+}
+
+func TestDeployUnknownPlatform(t *testing.T) {
+	_, err := Deploy("AlexNet", "GTX480", AgeDetection())
+	if err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+	if _, ok := err.(*UnknownPlatformError); !ok {
+		t.Fatalf("error type %T, want *UnknownPlatformError", err)
+	}
+}
+
+func TestSchedulersSuite(t *testing.T) {
+	if got := len(Schedulers()); got != 6 {
+		t.Fatalf("Schedulers() = %d, want 6", got)
+	}
+}
+
+// TestDeployEndToEnd exercises the one-call path; it trains a scaled
+// network, so it is the slowest facade test (a few seconds).
+func TestDeployEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	fw, err := Deploy("AlexNet", "TX1", VideoSurveillance(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := fw.Outcome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.MeetsDeadline {
+		t.Fatalf("deployed P-CNN misses the TX1 deadline: %.2fms", out.ResponseMS)
+	}
+	if out.SoC <= 0 {
+		t.Fatalf("deployed P-CNN SoC = %v", out.SoC)
+	}
+}
