@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: ci vet build test test-short race bench fuzz
+
+# ci is the gate every change must pass: static checks, full build, the
+# tier-1 test suite, and the race detector over the packages that own the
+# parallel GEMM backend.
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/tensor/ ./internal/nn/
+
+# bench reproduces the numbers recorded in BENCH_gemm.json.
+bench:
+	$(GO) test -run='^$$' -bench='GEMM|Backend' -benchmem ./internal/tensor/ ./internal/nn/
+
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzMatMulShapes -fuzztime=30s ./internal/tensor/

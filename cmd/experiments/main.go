@@ -17,6 +17,7 @@ import (
 	"pcnn/internal/core"
 	"pcnn/internal/experiments"
 	"pcnn/internal/report"
+	"pcnn/internal/tensor"
 )
 
 func main() {
@@ -30,8 +31,19 @@ func main() {
 		fig15  = flag.Bool("fig15", false, "SoC per scheduler")
 		fig16  = flag.Bool("fig16", false, "entropy-based vs accuracy-based tuning")
 		seed   = flag.Int64("seed", 1, "lab dataset seed")
+		// Serial and parallel GEMM execution are bit-for-bit identical, so
+		// the backend never changes a summary — only how fast it appears.
+		backend = flag.String("backend", "", "host GEMM backend: auto, serial or parallel (default $PCNN_GEMM_BACKEND or auto)")
 	)
 	flag.Parse()
+
+	if *backend != "" {
+		b, err := tensor.ParseBackend(*backend)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tensor.Default().SetBackend(b)
+	}
 
 	all := !(*table1 || *fig13 || *fig14 || *fig15 || *fig16)
 	lab := core.NewLab(*seed)

@@ -38,6 +38,47 @@ func BenchmarkConvForwardPerforated(b *testing.B) {
 	}
 }
 
+// BenchmarkConvForwardBackend compares the serial and parallel GEMM
+// backends on the same convolution (VGG-ish full-size geometry so the
+// GEMM clears the Auto threshold).
+func BenchmarkConvForwardBackend(b *testing.B) {
+	for _, bk := range []tensor.Backend{tensor.Serial, tensor.Parallel} {
+		b.Run(bk.String(), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			conv := NewConv("b", 64, 28, 28, 64, 3, 1, 1, rng)
+			conv.SetEngine(tensor.NewEngine(bk, 0))
+			x := tensor.New(2, 64, 28, 28)
+			for i := range x.Data {
+				x.Data[i] = rng.Float32()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				conv.Forward(x, false)
+			}
+		})
+	}
+}
+
+// BenchmarkAlexNetSInferenceBackend measures the scaled network end to end
+// under each backend.
+func BenchmarkAlexNetSInferenceBackend(b *testing.B) {
+	for _, bk := range []tensor.Backend{tensor.Serial, tensor.Parallel} {
+		b.Run(bk.String(), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			net := AlexNetS(rng)
+			net.SetEngine(tensor.NewEngine(bk, 0))
+			x := tensor.New(4, 3, ScaledInputSize, ScaledInputSize)
+			for i := range x.Data {
+				x.Data[i] = rng.Float32()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.Predict(x)
+			}
+		})
+	}
+}
+
 // BenchmarkAlexNetSInference measures a full scaled-network forward pass.
 func BenchmarkAlexNetSInference(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))

@@ -28,9 +28,17 @@ type Conv struct {
 
 	keepW, keepH int // 0,0 = full computation
 
+	eng *tensor.Engine // nil = package default
+
 	// Backward caches (training always runs unperforated).
 	lastCols  []*tensor.Tensor
 	lastInput *tensor.Tensor
+
+	// Reused gradient buffers: conv backward runs every training step with
+	// fixed geometry, so dW (outC × fanIn) and dcols (fanIn × ho·wo) are
+	// allocated once instead of per step.
+	dW    *tensor.Tensor
+	dcols *tensor.Tensor
 }
 
 // NewConv creates a convolutional layer with He-initialized weights.
@@ -55,6 +63,17 @@ func NewConv(name string, inC, inH, inW, outC, k, stride, pad int, rng *rand.Ran
 
 // Name implements Layer.
 func (c *Conv) Name() string { return c.name }
+
+// SetEngine directs the layer's GEMMs at eng (nil restores the default).
+func (c *Conv) SetEngine(eng *tensor.Engine) { c.eng = eng }
+
+// engine returns the layer's compute engine.
+func (c *Conv) engine() *tensor.Engine {
+	if c.eng != nil {
+		return c.eng
+	}
+	return tensor.Default()
+}
 
 // Params implements Layer.
 func (c *Conv) Params() []*Param { return []*Param{c.weight, c.bias} }
@@ -110,21 +129,38 @@ func (c *Conv) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 	planeIn := c.inC * c.inH * c.inW
 	planeOut := ho * wo
+	fanIn := c.inC * c.k * c.k
+	nPos := planeOut
+	var positions []int
+	if perforated {
+		positions = m.SampledIndices()
+		nPos = m.SampledCount()
+	}
+
+	eng := c.engine()
+	// The GEMM shapes are identical for every sample in the batch, so the
+	// column matrix (at inference; training caches it) and the GEMM output
+	// come from the scratch pool and are reused across the loop.
+	var colsScratch *tensor.Tensor
+	var releaseCols func()
+	if !train {
+		colsScratch, releaseCols = tensor.NewScratch(fanIn, nPos)
+		defer releaseCols()
+	}
+	res, releaseRes := tensor.NewScratch(c.outC, nPos)
+	defer releaseRes()
+
 	for i := 0; i < n; i++ {
 		xi := x.Data[i*planeIn : (i+1)*planeIn]
-		var cols *tensor.Tensor
-		if perforated {
-			cols = im2colSampled(xi, c.inC, c.inH, c.inW, c.k, c.stride, c.pad, m.SampledIndices())
-		} else {
-			cols = im2col(xi, c.inC, c.inH, c.inW, c.k, c.stride, c.pad)
-		}
+		cols := colsScratch
 		if train {
+			cols = tensor.New(fanIn, nPos)
 			c.lastCols[i] = cols
 		}
-		res := tensor.MatMul(c.weight.W, cols) // outC × nPos
+		im2colInto(cols.Data, xi, c.inC, c.inH, c.inW, c.k, c.stride, c.pad, positions, ho, wo)
+		eng.MatMulInto(res, c.weight.W, cols) // outC × nPos
 		oi := out.Data[i*c.outC*planeOut : (i+1)*c.outC*planeOut]
 		if perforated {
-			nPos := m.SampledCount()
 			for f := 0; f < c.outC; f++ {
 				row := res.Data[f*nPos : (f+1)*nPos]
 				b := c.bias.W.Data[f]
@@ -157,12 +193,18 @@ func (c *Conv) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	ho, wo := c.OutDims()
 	planeOut := ho * wo
 	planeIn := c.inC * c.inH * c.inW
+	fanIn := c.inC * c.k * c.k
+	if c.dW == nil {
+		c.dW = tensor.New(c.outC, fanIn)
+		c.dcols = tensor.New(fanIn, planeOut)
+	}
+	eng := c.engine()
 	dx := tensor.New(n, c.inC, c.inH, c.inW)
 	for i := 0; i < n; i++ {
 		gi := tensor.FromSlice(grad.Data[i*c.outC*planeOut:(i+1)*c.outC*planeOut], c.outC, planeOut)
 		// cols is (inC·k·k) × planeOut, so dW = g(outC×planeOut) · colsᵀ.
-		dW := tensor.MatMulTransB(gi, c.lastCols[i])
-		c.weight.G.Add(dW)
+		eng.MatMulTransBInto(c.dW, gi, c.lastCols[i])
+		c.weight.G.Add(c.dW)
 		// db += row sums of g
 		for f := 0; f < c.outC; f++ {
 			var s float32
@@ -173,8 +215,8 @@ func (c *Conv) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			c.bias.G.Data[f] += s
 		}
 		// dcols = Wᵀ · g
-		dcols := tensor.MatMulTransA(c.weight.W, gi)
-		col2im(dx.Data[i*planeIn:(i+1)*planeIn], dcols, c.inC, c.inH, c.inW, c.k, c.stride, c.pad)
+		eng.MatMulTransAInto(c.dcols, c.weight.W, gi)
+		col2im(dx.Data[i*planeIn:(i+1)*planeIn], c.dcols, c.inC, c.inH, c.inW, c.k, c.stride, c.pad)
 	}
 	return dx
 }

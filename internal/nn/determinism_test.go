@@ -1,0 +1,110 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"pcnn/internal/tensor"
+)
+
+// Backend-invariance: the serial and parallel engines run the same row
+// kernels in the same per-row order, so every quantity the experiments
+// report — training loss trajectories, predictions, accuracies — must be
+// bit-for-bit identical whichever backend is active. This is what keeps
+// `cmd/experiments -backend parallel` summaries identical to serial runs.
+
+// trainTrajectory trains a fresh tinyNet under eng and returns the
+// per-epoch losses plus the final flattened parameters.
+func trainTrajectory(eng *tensor.Engine, epochs int) ([]float64, []float32) {
+	rng := rand.New(rand.NewSource(21))
+	net := tinyNet(rng)
+	net.SetEngine(eng)
+	data := tinyData(24, rand.New(rand.NewSource(22)))
+	opt := NewSGD(0.05, 0.9)
+	losses := make([]float64, epochs)
+	for e := range losses {
+		losses[e] = TrainEpoch(net, data, 8, opt)
+	}
+	var params []float32
+	for _, p := range net.Params() {
+		params = append(params, p.W.Data...)
+	}
+	return losses, params
+}
+
+func TestTrainLossTrajectoryBackendInvariant(t *testing.T) {
+	serLosses, serParams := trainTrajectory(tensor.NewEngine(tensor.Serial, 1), 6)
+	parLosses, parParams := trainTrajectory(tensor.NewEngine(tensor.Parallel, 4), 6)
+	for e := range serLosses {
+		if serLosses[e] != parLosses[e] {
+			t.Fatalf("epoch %d: serial loss %v != parallel loss %v", e, serLosses[e], parLosses[e])
+		}
+	}
+	for i := range serParams {
+		if serParams[i] != parParams[i] {
+			t.Fatalf("trained weights diverge at %d: %v vs %v", i, serParams[i], parParams[i])
+		}
+	}
+}
+
+func TestScaledNetworkSummaryBackendInvariant(t *testing.T) {
+	// The experiments' Table I / Fig 16 summaries reduce to trained-network
+	// accuracies and predictions; compare those across backends on a
+	// scaled network, including training through Conv backward.
+	run := func(eng *tensor.Engine) (float64, [][]float32) {
+		rng := rand.New(rand.NewSource(31))
+		net := AlexNetS(rng)
+		net.SetEngine(eng)
+		n := 16
+		x := tensor.New(n, 3, ScaledInputSize, ScaledInputSize)
+		labels := make([]int, n)
+		xr := rand.New(rand.NewSource(32))
+		for i := range x.Data {
+			x.Data[i] = xr.Float32()
+		}
+		for i := range labels {
+			labels[i] = i % ScaledClasses
+		}
+		data := &Dataset{X: x, Labels: labels}
+		opt := NewSGD(0.05, 0.9)
+		TrainEpoch(net, data, 8, opt)
+		return net.Accuracy(x, labels), net.Predict(x)
+	}
+	serAcc, serProbs := run(tensor.NewEngine(tensor.Serial, 1))
+	parAcc, parProbs := run(tensor.NewEngine(tensor.Parallel, 4))
+	if serAcc != parAcc {
+		t.Fatalf("accuracy %v (serial) != %v (parallel)", serAcc, parAcc)
+	}
+	for i := range serProbs {
+		for j := range serProbs[i] {
+			if serProbs[i][j] != parProbs[i][j] {
+				t.Fatalf("prediction [%d][%d] diverges: %v vs %v", i, j, serProbs[i][j], parProbs[i][j])
+			}
+		}
+	}
+}
+
+func TestPerforatedForwardBackendInvariant(t *testing.T) {
+	// Perforated inference shrinks the GEMM's N dimension; the sampled
+	// column matrix now comes from pooled scratch, which must not change
+	// results under either backend.
+	run := func(eng *tensor.Engine) *tensor.Tensor {
+		rng := rand.New(rand.NewSource(41))
+		conv := NewConv("p", 3, 8, 8, 4, 3, 1, 1, rng)
+		conv.SetEngine(eng)
+		conv.SetPerforation(5, 5)
+		x := tensor.New(2, 3, 8, 8)
+		xr := rand.New(rand.NewSource(42))
+		for i := range x.Data {
+			x.Data[i] = xr.Float32()
+		}
+		return conv.Forward(x, false)
+	}
+	ser := run(tensor.NewEngine(tensor.Serial, 1))
+	par := run(tensor.NewEngine(tensor.Parallel, 4))
+	for i := range ser.Data {
+		if ser.Data[i] != par.Data[i] {
+			t.Fatalf("perforated output diverges at %d", i)
+		}
+	}
+}

@@ -16,8 +16,12 @@ type FC struct {
 	weight *Param // out × in
 	bias   *Param // out
 
+	eng *tensor.Engine // nil = package default
+
 	lastInput *tensor.Tensor // flattened N×in view
 	lastShape []int
+
+	dW *tensor.Tensor // reused out×in gradient buffer
 }
 
 // NewFC creates a fully-connected layer with He-initialized weights.
@@ -31,6 +35,17 @@ func NewFC(name string, in, out int, rng *rand.Rand) *FC {
 
 // Name implements Layer.
 func (f *FC) Name() string { return f.name }
+
+// SetEngine directs the layer's GEMMs at eng (nil restores the default).
+func (f *FC) SetEngine(eng *tensor.Engine) { f.eng = eng }
+
+// engine returns the layer's compute engine.
+func (f *FC) engine() *tensor.Engine {
+	if f.eng != nil {
+		return f.eng
+	}
+	return tensor.Default()
+}
 
 // Params implements Layer.
 func (f *FC) Params() []*Param { return []*Param{f.weight, f.bias} }
@@ -50,7 +65,7 @@ func (f *FC) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		f.lastShape = x.Shape()
 	}
 	// out = flat · Wᵀ, one row per sample.
-	res := tensor.MatMulTransB(flat, f.weight.W) // n × out
+	res := f.engine().MatMulTransB(flat, f.weight.W) // n × out
 	for i := 0; i < n; i++ {
 		row := res.Data[i*f.out : (i+1)*f.out]
 		for j := range row {
@@ -67,9 +82,13 @@ func (f *FC) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	}
 	n := grad.Dim(0)
 	g := grad.Reshape(n, f.out)
-	// dW = gᵀ · x  (out × in)
-	dW := tensor.MatMulTransA(g, f.lastInput)
-	f.weight.G.Add(dW)
+	eng := f.engine()
+	// dW = gᵀ · x  (out × in), into a buffer reused across steps.
+	if f.dW == nil {
+		f.dW = tensor.New(f.out, f.in)
+	}
+	eng.MatMulTransAInto(f.dW, g, f.lastInput)
+	f.weight.G.Add(f.dW)
 	for i := 0; i < n; i++ {
 		row := g.Data[i*f.out : (i+1)*f.out]
 		for j, v := range row {
@@ -77,6 +96,6 @@ func (f *FC) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	// dx = g · W  (n × in)
-	dx := tensor.MatMul(g, f.weight.W)
+	dx := eng.MatMul(g, f.weight.W)
 	return dx.Reshape(f.lastShape...)
 }

@@ -2,31 +2,14 @@ package nn
 
 import "pcnn/internal/tensor"
 
-// im2col lowers one image's convolution input to the column matrix Dm of
-// Fig 2: each output position becomes a column holding the Sf²·Nc input
-// values its filter window covers. x is a C×H×W plane slice; the result
-// is (c·kh·kw) × (ho·wo).
-func im2col(x []float32, c, h, w, k, stride, pad int) *tensor.Tensor {
-	ho := (h+2*pad-k)/stride + 1
-	wo := (w+2*pad-k)/stride + 1
-	cols := tensor.New(c*k*k, ho*wo)
-	im2colInto(cols.Data, x, c, h, w, k, stride, pad, nil, ho, wo)
-	return cols
-}
-
-// im2colSampled lowers only the given output positions (row-major indices
-// into the ho×wo grid), producing (c·kh·kw) × len(positions). This is the
-// perforated data matrix: the GEMM's N dimension shrinks to Wo′·Ho′.
-func im2colSampled(x []float32, c, h, w, k, stride, pad int, positions []int) *tensor.Tensor {
-	ho := (h+2*pad-k)/stride + 1
-	wo := (w+2*pad-k)/stride + 1
-	cols := tensor.New(c*k*k, len(positions))
-	im2colInto(cols.Data, x, c, h, w, k, stride, pad, positions, ho, wo)
-	return cols
-}
-
-// im2colInto fills dst (rows = c·k·k, cols = nPos) from x. positions==nil
-// means all ho·wo positions in row-major order.
+// im2colInto lowers one image's convolution input to the column matrix Dm
+// of Fig 2: each output position becomes a column holding the Sf²·Nc input
+// values its filter window covers. x is a C×H×W plane slice; dst holds
+// (c·kh·kw) × nPos values and is fully overwritten, so callers may hand it
+// pooled scratch (tensor.GetScratch). positions==nil means all ho·wo
+// positions in row-major order; a non-nil slice of row-major indices into
+// the ho×wo grid produces the perforated data matrix instead — the GEMM's
+// N dimension shrinks to Wo′·Ho′.
 func im2colInto(dst, x []float32, c, h, w, k, stride, pad int, positions []int, ho, wo int) {
 	nPos := ho * wo
 	if positions != nil {

@@ -32,6 +32,13 @@ func NewInception(name string, branches ...[]Layer) *Inception {
 // Name implements Layer.
 func (inc *Inception) Name() string { return inc.name }
 
+// SetEngine implements EngineSetter, propagating into every branch.
+func (inc *Inception) SetEngine(eng *tensor.Engine) {
+	for _, b := range inc.Branches {
+		b.SetEngine(eng)
+	}
+}
+
 // Params implements Layer.
 func (inc *Inception) Params() []*Param {
 	var ps []*Param

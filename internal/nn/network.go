@@ -24,6 +24,25 @@ func NewSequential(name string, classes int, layers ...Layer) *Sequential {
 // Name returns the network name.
 func (s *Sequential) Name() string { return s.NetName }
 
+// EngineSetter is implemented by layers whose GEMM execution can be
+// redirected at a specific tensor.Engine.
+type EngineSetter interface {
+	SetEngine(*tensor.Engine)
+}
+
+// SetEngine directs every layer's GEMMs at eng — serial, parallel or auto,
+// see tensor.NewEngine — descending into composite layers. nil restores
+// the package default (tensor.Default(), configurable via
+// $PCNN_GEMM_BACKEND), keeping experiment runs reproducible: serial and
+// parallel engines produce bit-for-bit identical results.
+func (s *Sequential) SetEngine(eng *tensor.Engine) {
+	for _, l := range s.Layers {
+		if es, ok := l.(EngineSetter); ok {
+			es.SetEngine(eng)
+		}
+	}
+}
+
 // Params returns all trainable parameters.
 func (s *Sequential) Params() []*Param {
 	var ps []*Param

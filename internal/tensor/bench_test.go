@@ -1,0 +1,71 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Serial-vs-parallel GEMM benchmarks at the shapes the CNN layers actually
+// lower to (im2col GEMMs of AlexNet and VGG-16 conv layers, plus an FC
+// tail). Results are recorded in BENCH_gemm.json at the repo root; the
+// acceptance shape is VGG conv2_1 (M=64, K=4608, N=3025).
+var gemmShapes = []struct {
+	name    string
+	m, k, n int
+}{
+	{"AlexNet_conv1_M96_K363_N3025", 96, 363, 3025},
+	{"AlexNet_conv2_M256_K2400_N729", 256, 2400, 729},
+	{"VGG_conv2_1_M64_K4608_N3025", 64, 4608, 3025},
+	{"VGG_conv4_1_M512_K2304_N196", 512, 2304, 196},
+	{"FC_M32_K4096_N1000", 32, 4096, 1000},
+}
+
+func benchGEMM(b *testing.B, eng *Engine, m, k, n int) {
+	rng := rand.New(rand.NewSource(1))
+	a := randTensor(rng, m, k)
+	bb := randTensor(rng, k, n)
+	c := New(m, n)
+	b.SetBytes(int64(GEMMFlops(m, n, k))) // reported as "MB/s" = MFLOP/s
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.MatMulInto(c, a, bb)
+	}
+}
+
+func BenchmarkGEMMSerial(b *testing.B) {
+	eng := NewEngine(Serial, 1)
+	for _, s := range gemmShapes {
+		b.Run(s.name, func(b *testing.B) { benchGEMM(b, eng, s.m, s.k, s.n) })
+	}
+}
+
+func BenchmarkGEMMParallel(b *testing.B) {
+	eng := NewEngine(Parallel, 0) // shared pool, sized by GOMAXPROCS
+	b.Run(fmt.Sprintf("workers=%d", eng.Workers()), func(b *testing.B) {
+		for _, s := range gemmShapes {
+			b.Run(s.name, func(b *testing.B) { benchGEMM(b, eng, s.m, s.k, s.n) })
+		}
+	})
+}
+
+// BenchmarkGEMMTransForms covers the backward-pass variants on the
+// acceptance shape, comparing fresh-allocate vs Into-with-reuse.
+func BenchmarkGEMMTransForms(b *testing.B) {
+	eng := NewEngine(Serial, 1)
+	rng := rand.New(rand.NewSource(2))
+	g := randTensor(rng, 64, 3025)      // outC × planeOut
+	cols := randTensor(rng, 4608, 3025) // fanIn × planeOut
+	b.Run("TransB_alloc", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng.MatMulTransB(g, cols)
+		}
+	})
+	b.Run("TransB_into", func(b *testing.B) {
+		dW := New(64, 4608)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.MatMulTransBInto(dW, g, cols)
+		}
+	})
+}

@@ -1,0 +1,256 @@
+package tensor
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the host-side compute backend: a persistent worker pool and
+// an Engine that decides, per GEMM, whether to run the row-blocked kernels
+// serially or sharded across the pool. The split mirrors the paper's view
+// that the parallelization strategy of a lowered SGEMM is itself a tunable
+// dimension of the per-layer kernel choice (Section IV.B) — here the
+// tunable is serial-vs-parallel on the host, selected by a FLOP threshold
+// so that small tuner probes never pay goroutine dispatch overhead.
+//
+// Both paths run the identical row kernels in the identical per-row order,
+// so serial and parallel execution are bit-for-bit equivalent; tests in
+// parallel_test.go and nn's determinism tests rely on this.
+
+// Backend selects how the engine executes GEMM kernels.
+type Backend int32
+
+const (
+	// Auto runs serially below the FLOP threshold and in parallel above
+	// it (and only when more than one worker is available).
+	Auto Backend = iota
+	// Serial always runs on the calling goroutine.
+	Serial
+	// Parallel always shards rows across the worker pool.
+	Parallel
+)
+
+// String renders the backend name accepted by ParseBackend.
+func (b Backend) String() string {
+	switch b {
+	case Auto:
+		return "auto"
+	case Serial:
+		return "serial"
+	case Parallel:
+		return "parallel"
+	}
+	return fmt.Sprintf("Backend(%d)", int32(b))
+}
+
+// ParseBackend converts a name ("auto", "serial", "parallel") to a Backend.
+func ParseBackend(s string) (Backend, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "auto", "":
+		return Auto, nil
+	case "serial":
+		return Serial, nil
+	case "parallel":
+		return Parallel, nil
+	}
+	return Auto, fmt.Errorf("tensor: unknown backend %q (want auto, serial or parallel)", s)
+}
+
+// GEMMFlops returns the multiply-add FLOP count 2·M·N·K of one GEMM, the
+// quantity the Auto backend thresholds on.
+func GEMMFlops(m, n, k int) int64 {
+	return 2 * int64(m) * int64(n) * int64(k)
+}
+
+// DefaultParallelThreshold is the Auto backend's default minimum GEMM FLOP
+// count for parallel dispatch. Below it a single goroutine finishes before
+// the pool could even be woken; the value corresponds roughly to a
+// 64×64×32 multiply.
+const DefaultParallelThreshold = 1 << 18
+
+// poolTask is one row chunk queued on the worker pool.
+type poolTask struct {
+	fn     func(lo, hi int)
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+// workerPool is a persistent set of goroutines consuming row chunks. It
+// starts lazily on first use so that importing the package (or running
+// with a serial backend) never spawns goroutines.
+type workerPool struct {
+	once  sync.Once
+	size  int // requested; resolved to GOMAXPROCS at start when <= 0
+	tasks chan poolTask
+}
+
+func newWorkerPool(size int) *workerPool { return &workerPool{size: size} }
+
+// sharedPool is the process-wide pool engines use unless given a private
+// size; independent networks therefore share one set of workers.
+var sharedPool = newWorkerPool(0)
+
+func (p *workerPool) start() {
+	if p.size <= 0 {
+		p.size = runtime.GOMAXPROCS(0)
+	}
+	p.tasks = make(chan poolTask, 4*p.size)
+	for i := 0; i < p.size; i++ {
+		go func() {
+			for t := range p.tasks {
+				t.fn(t.lo, t.hi)
+				t.wg.Done()
+			}
+		}()
+	}
+}
+
+// workers returns the pool size, starting the pool if needed.
+func (p *workerPool) workers() int {
+	p.once.Do(p.start)
+	return p.size
+}
+
+// parallelFor splits [0, n) into one chunk per worker and runs fn over the
+// chunks, executing the first chunk on the calling goroutine. Chunks are
+// row-disjoint, so the only synchronization is the final wait. Tasks never
+// block inside fn, so queueing from several concurrent callers is safe.
+func (p *workerPool) parallelFor(n int, fn func(lo, hi int)) {
+	p.once.Do(p.start)
+	chunks := p.size
+	if chunks > n {
+		chunks = n
+	}
+	if chunks <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	size := (n + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	for lo := size; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		p.tasks <- poolTask{fn: fn, lo: lo, hi: hi, wg: &wg}
+	}
+	fn(0, size)
+	wg.Wait()
+}
+
+// Engine executes the package's GEMM kernels under a chosen backend.
+// Backend and threshold may be changed concurrently with use; the zero
+// value is not usable — construct engines with NewEngine.
+type Engine struct {
+	backend   atomic.Int32
+	threshold atomic.Int64
+	pool      *workerPool
+}
+
+// NewEngine creates an engine with the given backend. workers <= 0 shares
+// the process-wide pool (sized by GOMAXPROCS, or $PCNN_GEMM_WORKERS for
+// the default engine); a positive count gives the engine a private pool of
+// that size, which tests use to exercise sharding regardless of host CPUs.
+func NewEngine(b Backend, workers int) *Engine {
+	e := &Engine{pool: sharedPool}
+	if workers > 0 {
+		e.pool = newWorkerPool(workers)
+	}
+	e.backend.Store(int32(b))
+	e.threshold.Store(DefaultParallelThreshold)
+	return e
+}
+
+// defaultEngine serves every package-level MatMul* call. Its knobs come
+// from the environment:
+//
+//	PCNN_GEMM_BACKEND    auto | serial | parallel   (default auto)
+//	PCNN_GEMM_WORKERS    worker-pool size           (default GOMAXPROCS)
+//	PCNN_GEMM_THRESHOLD  min FLOPs for Auto to go parallel
+var defaultEngine = engineFromEnv()
+
+func engineFromEnv() *Engine {
+	b := Auto
+	if s := os.Getenv("PCNN_GEMM_BACKEND"); s != "" {
+		if parsed, err := ParseBackend(s); err == nil {
+			b = parsed
+		}
+	}
+	workers := 0
+	if s := os.Getenv("PCNN_GEMM_WORKERS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			workers = v
+		}
+	}
+	e := NewEngine(b, workers)
+	if s := os.Getenv("PCNN_GEMM_THRESHOLD"); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil && v >= 0 {
+			e.SetParallelThreshold(v)
+		}
+	}
+	return e
+}
+
+// Default returns the engine behind the package-level MatMul* functions.
+func Default() *Engine { return defaultEngine }
+
+// SetBackend changes how subsequent GEMMs execute. Safe for concurrent use.
+func (e *Engine) SetBackend(b Backend) { e.backend.Store(int32(b)) }
+
+// Backend returns the engine's current backend.
+func (e *Engine) Backend() Backend { return Backend(e.backend.Load()) }
+
+// SetParallelThreshold sets the Auto backend's minimum GEMM FLOP count
+// (2·M·N·K) for parallel dispatch. Safe for concurrent use.
+func (e *Engine) SetParallelThreshold(flops int64) { e.threshold.Store(flops) }
+
+// ParallelThreshold returns the Auto backend's FLOP threshold.
+func (e *Engine) ParallelThreshold() int64 { return e.threshold.Load() }
+
+// Workers returns the size of the engine's worker pool.
+func (e *Engine) Workers() int { return e.pool.workers() }
+
+// shouldParallel decides the execution strategy for an M×N×K GEMM.
+func (e *Engine) shouldParallel(m, n, k int) bool {
+	switch e.Backend() {
+	case Serial:
+		return false
+	case Parallel:
+		return m > 1
+	default:
+		return m > 1 && GEMMFlops(m, n, k) >= e.ParallelThreshold() && e.pool.workers() > 1
+	}
+}
+
+// PlanGEMM reports how the engine would execute an M×N×K GEMM: the
+// resolved backend (never Auto) and the number of workers it would use.
+// The per-layer kernel tuner records this as the host-side dimension of
+// its kernel choice.
+func (e *Engine) PlanGEMM(m, n, k int) (Backend, int) {
+	if e.shouldParallel(m, n, k) {
+		return Parallel, e.pool.workers()
+	}
+	return Serial, 1
+}
+
+// dispatch runs the row kernel over [0, m), sharded when the backend says
+// so. Both paths invoke the same kernel with the same per-row order, so
+// results are bit-for-bit identical either way.
+func (e *Engine) dispatch(m, n, k int, rows func(lo, hi int)) {
+	if m == 0 {
+		return
+	}
+	if e.shouldParallel(m, n, k) {
+		e.pool.parallelFor(m, rows)
+		return
+	}
+	rows(0, m)
+}

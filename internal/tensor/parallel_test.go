@@ -1,0 +1,364 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Engines under test: a pure-serial reference and a forced-parallel engine
+// with a private 4-worker pool, so row sharding is exercised even on a
+// single-CPU host.
+func testEngines() (serial, parallel *Engine) {
+	return NewEngine(Serial, 1), NewEngine(Parallel, 4)
+}
+
+// bitIdentical reports whether two tensors are exactly equal, bit for bit
+// (no tolerance — the parallel backend must reproduce serial results
+// exactly, since both run the same row kernel in the same order).
+func bitIdentical(a, b *Tensor) bool {
+	if len(a.Data) != len(b.Data) {
+		return false
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkAllVariantsEquivalent runs the three GEMM variants for one (m,k,n)
+// shape under the serial and parallel engines and fails on any bit
+// difference.
+func checkAllVariantsEquivalent(t *testing.T, m, k, n int, seed int64) {
+	t.Helper()
+	ser, par := testEngines()
+	rng := rand.New(rand.NewSource(seed))
+
+	a := randTensor(rng, m, k)
+	b := randTensor(rng, k, n)
+	at := randTensor(rng, k, m) // stored transposed for TransA
+	bt := randTensor(rng, n, k) // stored transposed for TransB
+
+	if got, want := par.MatMul(a, b), ser.MatMul(a, b); !bitIdentical(got, want) {
+		t.Fatalf("MatMul %dx%dx%d: parallel diverges from serial", m, k, n)
+	}
+	if got, want := par.MatMulTransA(at, b), ser.MatMulTransA(at, b); !bitIdentical(got, want) {
+		t.Fatalf("MatMulTransA %dx%dx%d: parallel diverges from serial", m, k, n)
+	}
+	if got, want := par.MatMulTransB(a, bt), ser.MatMulTransB(a, bt); !bitIdentical(got, want) {
+		t.Fatalf("MatMulTransB %dx%dx%d: parallel diverges from serial", m, k, n)
+	}
+
+	// Into forms over pooled scratch must agree too (and fully overwrite:
+	// scratch arrives with arbitrary contents).
+	cp, relP := NewScratch(m, n)
+	cs, relS := NewScratch(m, n)
+	defer relP()
+	defer relS()
+	for i := range cp.Data {
+		cp.Data[i] = 999
+	}
+	for i := range cs.Data {
+		cs.Data[i] = -999
+	}
+	par.MatMulInto(cp, a, b)
+	ser.MatMulInto(cs, a, b)
+	if !bitIdentical(cp, cs) {
+		t.Fatalf("MatMulInto %dx%dx%d: parallel diverges from serial", m, k, n)
+	}
+	par.MatMulTransAInto(cp, at, b)
+	ser.MatMulTransAInto(cs, at, b)
+	if !bitIdentical(cp, cs) {
+		t.Fatalf("MatMulTransAInto %dx%dx%d: parallel diverges from serial", m, k, n)
+	}
+	par.MatMulTransBInto(cp, a, bt)
+	ser.MatMulTransBInto(cs, a, bt)
+	if !bitIdentical(cp, cs) {
+		t.Fatalf("MatMulTransBInto %dx%dx%d: parallel diverges from serial", m, k, n)
+	}
+}
+
+// TestParallelMatchesSerialRandomShapes is the property-style equivalence
+// sweep: ragged sizes around chunk boundaries, plus many random shapes.
+func TestParallelMatchesSerialRandomShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dims := []int{1, 2, 3, 4, 5, 7, 8, 9, 13, 16, 17, 31, 33, 64}
+	for trial := 0; trial < 60; trial++ {
+		m := dims[rng.Intn(len(dims))]
+		k := dims[rng.Intn(len(dims))]
+		n := dims[rng.Intn(len(dims))]
+		checkAllVariantsEquivalent(t, m, k, n, int64(trial))
+	}
+}
+
+// TestParallelMatchesSerialDegenerateShapes pins the edge cases: empty M,
+// N or K, and single-row outputs that cannot be sharded.
+func TestParallelMatchesSerialDegenerateShapes(t *testing.T) {
+	shapes := [][3]int{
+		{0, 3, 4}, {3, 0, 4}, {3, 4, 0}, {0, 0, 0},
+		{1, 5, 7}, {1, 1, 1}, {2, 1, 1}, {5, 1, 9},
+	}
+	for i, s := range shapes {
+		checkAllVariantsEquivalent(t, s[0], s[1], s[2], int64(100+i))
+	}
+}
+
+// TestParallelMatchesSerialVGGShape exercises the acceptance-criterion
+// geometry (a VGG conv lowered to GEMM) once at full size.
+func TestParallelMatchesSerialVGGShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large GEMM in -short mode")
+	}
+	checkAllVariantsEquivalent(t, 64, 512, 256, 7)
+}
+
+// TestAutoBackendMatchesSerial checks the threshold path: an Auto engine
+// must agree with serial both below and above its FLOP threshold.
+func TestAutoBackendMatchesSerial(t *testing.T) {
+	auto := NewEngine(Auto, 4)
+	auto.SetParallelThreshold(1000)
+	ser := NewEngine(Serial, 1)
+	rng := rand.New(rand.NewSource(3))
+	for _, shape := range [][3]int{{2, 3, 4}, {32, 16, 32}} {
+		a := randTensor(rng, shape[0], shape[1])
+		b := randTensor(rng, shape[1], shape[2])
+		if !bitIdentical(auto.MatMul(a, b), ser.MatMul(a, b)) {
+			t.Fatalf("auto engine diverges at shape %v", shape)
+		}
+	}
+}
+
+// TestEngineKnobs covers backend/threshold accessors and PlanGEMM's
+// serial-vs-parallel resolution.
+func TestEngineKnobs(t *testing.T) {
+	e := NewEngine(Auto, 4)
+	if e.Backend() != Auto {
+		t.Fatalf("Backend = %v, want auto", e.Backend())
+	}
+	e.SetBackend(Parallel)
+	if e.Backend() != Parallel {
+		t.Fatalf("Backend = %v after SetBackend", e.Backend())
+	}
+	if e.Workers() != 4 {
+		t.Fatalf("Workers = %d, want 4", e.Workers())
+	}
+	if b, w := e.PlanGEMM(64, 64, 64); b != Parallel || w != 4 {
+		t.Fatalf("forced-parallel PlanGEMM = %v/%d", b, w)
+	}
+	e.SetBackend(Serial)
+	if b, w := e.PlanGEMM(64, 64, 64); b != Serial || w != 1 {
+		t.Fatalf("forced-serial PlanGEMM = %v/%d", b, w)
+	}
+	e.SetBackend(Auto)
+	e.SetParallelThreshold(GEMMFlops(64, 64, 64) + 1)
+	if b, _ := e.PlanGEMM(64, 64, 64); b != Serial {
+		t.Fatalf("below-threshold PlanGEMM = %v, want serial", b)
+	}
+	e.SetParallelThreshold(GEMMFlops(64, 64, 64))
+	if b, _ := e.PlanGEMM(64, 64, 64); b != Parallel {
+		t.Fatalf("at-threshold PlanGEMM = %v, want parallel", b)
+	}
+	if e.ParallelThreshold() != GEMMFlops(64, 64, 64) {
+		t.Fatalf("ParallelThreshold round-trip failed")
+	}
+}
+
+func TestParseBackendRoundTrip(t *testing.T) {
+	for _, b := range []Backend{Auto, Serial, Parallel} {
+		got, err := ParseBackend(b.String())
+		if err != nil || got != b {
+			t.Fatalf("ParseBackend(%q) = %v, %v", b.String(), got, err)
+		}
+	}
+	if _, err := ParseBackend("gpu"); err == nil {
+		t.Fatalf("ParseBackend accepted unknown backend")
+	}
+	if b, err := ParseBackend(" Parallel "); err != nil || b != Parallel {
+		t.Fatalf("ParseBackend is not case/space tolerant: %v, %v", b, err)
+	}
+}
+
+// mustPanic runs f and returns the recovered panic message, failing the
+// test when f does not panic.
+func mustPanic(t *testing.T, what string, f func()) string {
+	t.Helper()
+	var msg string
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				msg = fmt.Sprint(r)
+			}
+		}()
+		f()
+	}()
+	if msg == "" {
+		t.Fatalf("%s did not panic", what)
+	}
+	return msg
+}
+
+// TestShapeCheckConsistency is the latent-bug regression: all variants now
+// reject non-rank-2 operands, mismatched inner dimensions and wrong output
+// shapes with uniformly phrased messages naming the operation.
+func TestShapeCheckConsistency(t *testing.T) {
+	a23, b34 := New(2, 3), New(3, 4)
+	r3 := New(3) // rank-1
+
+	cases := []struct {
+		op   string
+		want string
+		f    func()
+	}{
+		{"MatMul", "inner dimensions differ", func() { MatMul(New(2, 3), New(4, 2)) }},
+		{"MatMulTransA", "inner dimensions differ", func() { MatMulTransA(New(3, 2), New(4, 2)) }},
+		{"MatMulTransB", "inner dimensions differ", func() { MatMulTransB(New(2, 3), New(4, 2)) }},
+		{"MatMul", "requires rank-2 operands", func() { MatMul(r3, b34) }},
+		{"MatMulTransA", "requires rank-2 operands", func() { MatMulTransA(r3, b34) }},
+		{"MatMulTransB", "requires rank-2 operands", func() { MatMulTransB(a23, r3) }},
+		{"MatMulInto", "output shape", func() { MatMulInto(New(4, 2), a23, b34) }},
+		{"MatMulTransAInto", "output shape", func() { MatMulTransAInto(New(2, 2), New(3, 2), b34) }},
+		{"MatMulTransBInto", "output shape", func() { MatMulTransBInto(New(2, 2), a23, New(4, 3)) }},
+		{"MatMulInto", "output shape", func() { MatMulInto(r3, a23, b34) }},
+	}
+	for _, tc := range cases {
+		msg := mustPanic(t, tc.op, tc.f)
+		if !strings.Contains(msg, "tensor: "+tc.op+" ") {
+			t.Errorf("%s panic does not name the op: %q", tc.op, msg)
+		}
+		if !strings.Contains(msg, tc.want) {
+			t.Errorf("%s panic %q does not contain %q", tc.op, msg, tc.want)
+		}
+	}
+}
+
+// TestIntoFormsWriteCallerBuffer verifies the Into forms reuse the given
+// buffer rather than allocating, the point of the conv-backward fix.
+func TestIntoFormsWriteCallerBuffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randTensor(rng, 3, 6)    // outC × planeOut
+	cols := randTensor(rng, 4, 6) // fanIn × planeOut
+	dW := New(3, 4)
+	data := dW.Data
+	MatMulTransBInto(dW, g, cols)
+	want := MatMulTransB(g, cols)
+	if &data[0] != &dW.Data[0] {
+		t.Fatalf("MatMulTransBInto replaced the output buffer")
+	}
+	if !bitIdentical(dW, want) {
+		t.Fatalf("MatMulTransBInto result differs from MatMulTransB")
+	}
+	w := randTensor(rng, 3, 4)
+	dcols := New(4, 6)
+	MatMulTransAInto(dcols, w, g)
+	if !bitIdentical(dcols, MatMulTransA(w, g)) {
+		t.Fatalf("MatMulTransAInto result differs from MatMulTransA")
+	}
+}
+
+// TestConcurrentParallelGEMM stress-tests the shared worker pool: many
+// goroutines issuing sharded GEMMs at once must neither race nor corrupt
+// each other's outputs. Run under -race in CI.
+func TestConcurrentParallelGEMM(t *testing.T) {
+	_, par := testEngines()
+	ser := NewEngine(Serial, 1)
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for iter := 0; iter < 20; iter++ {
+				m, k, n := 1+rng.Intn(16), 1+rng.Intn(16), 1+rng.Intn(16)
+				a, b := randTensor(rng, m, k), randTensor(rng, k, n)
+				got := par.MatMul(a, b)
+				if !bitIdentical(got, ser.MatMul(a, b)) {
+					errs <- fmt.Sprintf("goroutine %d iter %d: corrupted result", g, iter)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// TestScratchRoundTrip covers the pooled allocator: size classes, reuse,
+// and the too-large escape hatch.
+func TestScratchRoundTrip(t *testing.T) {
+	s := GetScratch(100)
+	if len(s) != 100 {
+		t.Fatalf("GetScratch(100) len = %d", len(s))
+	}
+	if cap(s) != 128 {
+		t.Fatalf("GetScratch(100) cap = %d, want 128 (size class)", cap(s))
+	}
+	PutScratch(s)
+	s2 := GetScratch(120)
+	if cap(s2) != 128 {
+		t.Fatalf("reused scratch cap = %d", cap(s2))
+	}
+	PutScratch(s2)
+
+	if got := GetScratch(0); got != nil {
+		t.Fatalf("GetScratch(0) = %v, want nil", got)
+	}
+	PutScratch(nil)                // must not panic
+	PutScratch(make([]float32, 3)) // below pooled range: dropped
+
+	tt, release := NewScratch(4, 5)
+	if tt.Dim(0) != 4 || tt.Dim(1) != 5 || len(tt.Data) != 20 {
+		t.Fatalf("NewScratch shape %v len %d", tt.Shape(), len(tt.Data))
+	}
+	release()
+}
+
+// TestScratchConcurrent hammers the allocator from many goroutines; run
+// under -race this guards the sync.Pool usage and catches aliasing between
+// a released buffer and its next owner.
+func TestScratchConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 200; iter++ {
+				n := 1 + (g*31+iter*7)%500
+				s := GetScratch(n)
+				for i := range s {
+					s[i] = float32(g)
+				}
+				for i := range s {
+					if s[i] != float32(g) {
+						t.Errorf("scratch aliased while owned")
+						return
+					}
+				}
+				PutScratch(s)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// FuzzMatMulShapes fuzzes shape handling: any small (m,k,n) must give
+// bit-identical serial and parallel results for all three variants, with
+// no panics on degenerate dimensions.
+func FuzzMatMulShapes(f *testing.F) {
+	f.Add(uint8(3), uint8(4), uint8(5), int64(1))
+	f.Add(uint8(0), uint8(1), uint8(2), int64(2))
+	f.Add(uint8(1), uint8(0), uint8(0), int64(3))
+	f.Add(uint8(17), uint8(3), uint8(9), int64(4))
+	f.Fuzz(func(t *testing.T, m8, k8, n8 uint8, seed int64) {
+		m, k, n := int(m8)%48, int(k8)%48, int(n8)%48
+		checkAllVariantsEquivalent(t, m, k, n, seed)
+	})
+}
