@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test test-short race bench fuzz
+.PHONY: ci vet build test test-short race bench bench-serve fuzz serve-smoke
 
 # ci is the gate every change must pass: static checks, full build, the
 # tier-1 test suite, and the race detector over the packages that own the
@@ -20,7 +20,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/tensor/ ./internal/nn/
+	$(GO) test -race ./internal/tensor/ ./internal/nn/ ./internal/serve/
 
 # bench reproduces the numbers recorded in BENCH_gemm.json.
 bench:
@@ -28,3 +28,15 @@ bench:
 
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzMatMulShapes -fuzztime=30s ./internal/tensor/
+
+# serve-smoke boots the serving daemon's closed-loop generator against the
+# simulator and fails unless all 100 requests complete with positive SoC.
+serve-smoke:
+	$(GO) run ./cmd/pcnnd -net AlexNet -platform TX1 -task surveillance \
+		-load closed -n 100 -smoke
+
+# bench-serve reproduces the numbers recorded in BENCH_serve.json: an
+# open-loop sweep at 0.5x / 1x / 2x of the compiled plan's capacity.
+bench-serve:
+	$(GO) run ./cmd/pcnnd -net AlexNet -platform TX1 -task surveillance \
+		-load open -n 300 -pace 1 -bench BENCH_serve.json

@@ -1,0 +1,357 @@
+// Command pcnnd is the P-CNN serving daemon: it deploys one (network,
+// platform, task) triple and serves inference requests online through the
+// deadline-aware dynamic batcher, degrading gracefully under overload via
+// perforation escalation with entropy-driven calibration backtracking.
+//
+// Two modes:
+//
+//	go run ./cmd/pcnnd -net AlexNet -platform TX1 -task surveillance -addr :8080
+//	    HTTP daemon: POST /infer serves one request, GET /stats reports
+//	    the serving snapshot, GET /healthz liveness.
+//
+//	go run ./cmd/pcnnd -net AlexNet -platform TX1 -task surveillance -load closed -n 100 -smoke
+//	    built-in load generator: closed-loop (N concurrent users, think
+//	    time zero) or open-loop (-load open -rate R, Poisson or
+//	    fixed-fps arrivals from internal/workload). -smoke exits nonzero
+//	    unless every request was served with positive mean SoC.
+//	    -bench FILE sweeps three open-loop load levels and writes
+//	    throughput/latency/miss-rate JSON.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pcnn"
+	"pcnn/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pcnnd: ")
+
+	var (
+		netName  = flag.String("net", "AlexNet", "network: AlexNet, VGGNet or GoogLeNet")
+		platform = flag.String("platform", "TX1", "platform: K20c, TitanX, GTX970m or TX1")
+		taskName = flag.String("task", "surveillance", "task archetype: age, surveillance or tagging")
+		fps      = flag.Float64("fps", 30, "camera frame rate for -task surveillance")
+		addr     = flag.String("addr", "", "HTTP listen address (daemon mode, e.g. :8080)")
+		workers  = flag.Int("workers", 2, "worker pool size")
+		batch    = flag.Int("batch", 0, "batch cap (0 = plan's compiled batch)")
+		queue    = flag.Int("queue", 0, "admission queue capacity (0 = default)")
+		pace     = flag.Float64("pace", 0, "wall ms per simulated ms (1 = simulated real time)")
+		noDeg    = flag.Bool("nodegrade", false, "disable perforation escalation (control config)")
+		load     = flag.String("load", "", "load generator mode: open or closed")
+		rate     = flag.Float64("rate", 0, "open-loop arrival rate, requests/s (0 = archetype default)")
+		n        = flag.Int("n", 100, "load generator request count")
+		conc     = flag.Int("conc", 4, "closed-loop concurrent users")
+		bench    = flag.String("bench", "", "write a 3-level load sweep to this JSON file")
+		smoke    = flag.Bool("smoke", false, "exit nonzero unless zero loss and positive SoC")
+		tune     = flag.Bool("tune", false, "train the scaled analogue and attach the accuracy tuner (slow)")
+		seed     = flag.Int64("seed", 1, "load generator seed")
+	)
+	flag.Parse()
+
+	task, err := taskByName(*taskName, *fps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fw, err := deploy(*netName, *platform, task, *tune)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := pcnn.ServeConfig{
+		MaxBatch:       *batch,
+		QueueCap:       *queue,
+		Workers:        *workers,
+		Pace:           *pace,
+		DisableDegrade: *noDeg,
+	}
+
+	switch {
+	case *bench != "":
+		if err := runBench(fw, cfg, *bench, *n, *conc, *seed); err != nil {
+			log.Fatal(err)
+		}
+	case *load != "":
+		srv, err := fw.Serve(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		snap, err := generate(srv, *load, *rate, *n, *conc, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(os.Stdout, snap)
+		if *smoke {
+			if err := checkSmoke(snap, *n); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("smoke OK: %d served, p99 %.1fms, mean SoC %.3g",
+				snap.Completed, snap.P99MS, snap.MeanSoC)
+		}
+	case *addr != "":
+		srv, err := fw.Serve(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("serving %s/%s/%s on %s", *netName, *platform, task.Name, *addr)
+		log.Fatal(http.ListenAndServe(*addr, newHandler(srv)))
+	default:
+		log.Fatal("nothing to do: pass -addr for daemon mode or -load open|closed for the generator")
+	}
+}
+
+// taskByName resolves the archetype flag.
+func taskByName(name string, fps float64) (pcnn.Task, error) {
+	switch name {
+	case "age", "interactive":
+		return pcnn.AgeDetection(), nil
+	case "surveillance", "realtime":
+		return pcnn.VideoSurveillance(fps), nil
+	case "tagging", "background":
+		return pcnn.ImageTagging(), nil
+	}
+	return pcnn.Task{}, fmt.Errorf("unknown task %q (want age, surveillance or tagging)", name)
+}
+
+// deploy builds the framework: the full Deploy path (training the scaled
+// analogue) when tune is set, compile-only otherwise.
+func deploy(netName, platform string, task pcnn.Task, tune bool) (*pcnn.Framework, error) {
+	if tune {
+		return pcnn.Deploy(netName, platform, task)
+	}
+	dev := pcnn.PlatformByName(platform)
+	if dev == nil {
+		return nil, &pcnn.UnknownPlatformError{Name: platform}
+	}
+	return pcnn.New(netName, dev, task)
+}
+
+// generate drives the built-in load generator and returns the final
+// snapshot after a full drain.
+func generate(srv *pcnn.Server, mode string, rate float64, n, conc int, seed int64) (pcnn.ServeSnapshot, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	var err error
+	switch mode {
+	case "closed":
+		err = closedLoop(ctx, srv, n, conc)
+	case "open":
+		err = openLoop(ctx, srv, rate, n, seed)
+	default:
+		err = fmt.Errorf("unknown -load mode %q (want open or closed)", mode)
+	}
+	if err != nil {
+		return pcnn.ServeSnapshot{}, err
+	}
+	snap := srv.Stats()
+	if cerr := srv.Close(ctx); cerr != nil {
+		return snap, cerr
+	}
+	return snap, nil
+}
+
+// closedLoop runs conc users, each submitting its next request the moment
+// the previous one resolves, until n requests completed.
+func closedLoop(ctx context.Context, srv *pcnn.Server, n, conc int) error {
+	if conc < 1 {
+		conc = 1
+	}
+	var issued atomic.Int64
+	var wg sync.WaitGroup
+	errCh := make(chan error, conc)
+	for u := 0; u < conc; u++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for issued.Add(1) <= int64(n) {
+				f, err := srv.Submit()
+				if err != nil {
+					if errors.Is(err, pcnn.ErrQueueFull) {
+						continue // closed loop retries; rejection is still counted
+					}
+					errCh <- err
+					return
+				}
+				if _, err := f.Wait(ctx); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}
+
+// openLoop submits n requests on the task's arrival process (Poisson for
+// interactive/background, fixed-period for surveillance), never waiting
+// for responses: the server must absorb or degrade.
+func openLoop(ctx context.Context, srv *pcnn.Server, rate float64, n int, seed int64) error {
+	arrivals := workload.ArrivalsForTask(srv.Task(), rate, seed)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			time.Sleep(arrivals.Next())
+		}
+		f, err := srv.Submit()
+		if err != nil {
+			continue // open-loop drops are recorded in the snapshot
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f.Wait(ctx)
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// checkSmoke enforces the smoke-test acceptance bar.
+func checkSmoke(snap pcnn.ServeSnapshot, n int) error {
+	switch {
+	case snap.Rejected != 0:
+		return fmt.Errorf("smoke: %d requests rejected", snap.Rejected)
+	case snap.Failed != 0:
+		return fmt.Errorf("smoke: %d requests failed", snap.Failed)
+	case snap.Completed != uint64(n):
+		return fmt.Errorf("smoke: completed %d of %d", snap.Completed, n)
+	case !(snap.MeanSoC > 0):
+		return fmt.Errorf("smoke: mean SoC %v not positive", snap.MeanSoC)
+	}
+	return nil
+}
+
+// benchPoint is one load level of the sweep.
+type benchPoint struct {
+	LoadFactor    float64 `json:"load_factor"`
+	RateRPS       float64 `json:"rate_rps"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50MS         float64 `json:"p50_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	MissRate      float64 `json:"deadline_miss_rate"`
+	MeanBatch     float64 `json:"mean_batch"`
+	MeanSoC       float64 `json:"mean_soc"`
+	EnergyPerImgJ float64 `json:"energy_per_image_j"`
+	Escalations   uint64  `json:"escalations"`
+	Level         int     `json:"final_level"`
+}
+
+// runBench sweeps three open-loop load levels around the plan's capacity
+// (Batch / PredictedMS) and writes the results as JSON.
+func runBench(fw *pcnn.Framework, cfg pcnn.ServeConfig, path string, n, conc int, seed int64) error {
+	if fw.Plan == nil {
+		if err := fw.CompileOffline(); err != nil {
+			return err
+		}
+	}
+	capacity := float64(fw.Plan.Batch) * 1000 / fw.Plan.PredictedMS * float64(max(cfg.Workers, 1))
+	factors := []float64{0.5, 1, 2}
+	points := make([]benchPoint, 0, len(factors))
+	for _, f := range factors {
+		srv, err := fw.Serve(cfg)
+		if err != nil {
+			return err
+		}
+		rate := capacity * f
+		log.Printf("bench: load %.1fx capacity = %.1f req/s, %d requests", f, rate, n)
+		snap, err := generate(srv, "open", rate, n, conc, seed)
+		if err != nil {
+			return err
+		}
+		points = append(points, benchPoint{
+			LoadFactor:    f,
+			RateRPS:       rate,
+			ThroughputRPS: snap.ThroughputRPS,
+			P50MS:         snap.P50MS,
+			P99MS:         snap.P99MS,
+			MissRate:      snap.DeadlineMissRate,
+			MeanBatch:     snap.MeanBatch,
+			MeanSoC:       snap.MeanSoC,
+			EnergyPerImgJ: snap.EnergyPerImageJ,
+			Escalations:   snap.Escalations,
+			Level:         snap.Level,
+		})
+	}
+	out := struct {
+		Net      string       `json:"net"`
+		Platform string       `json:"platform"`
+		Task     string       `json:"task"`
+		Pace     float64      `json:"pace"`
+		N        int          `json:"n_per_level"`
+		Points   []benchPoint `json:"points"`
+	}{fw.Net.Name, fw.Dev.Name, fw.Task.Name, cfg.Pace, n, points}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	log.Printf("bench: wrote %s", path)
+	return nil
+}
+
+// newHandler wires the HTTP API.
+func newHandler(srv *pcnn.Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+		emit(w, srv.Stats())
+	})
+	mux.HandleFunc("/infer", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		f, err := srv.Submit()
+		switch {
+		case errors.Is(err, pcnn.ErrQueueFull):
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+			return
+		case errors.Is(err, pcnn.ErrServerClosed):
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		res, err := f.Wait(r.Context())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		emit(w, res)
+	})
+	return mux
+}
+
+// emit writes v as indented JSON.
+func emit(w interface{ Write([]byte) (int, error) }, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("encode: %v", err)
+	}
+}

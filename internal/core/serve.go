@@ -1,0 +1,24 @@
+package core
+
+import "pcnn/internal/serve"
+
+// Serve spins up the online inference server for this deployment: the
+// compiled plan supplies batching and simulated timing, the transferred
+// tuning path supplies the degradation levels, and — when AttachScaled has
+// run — the trained scaled network classifies batches for real, feeding
+// measured entropy into the server's calibration loop. Compiles offline on
+// demand when CompileOffline has not run yet.
+//
+// The returned server owns goroutines; callers must Close it.
+func (f *Framework) Serve(cfg serve.Config) (*serve.Server, error) {
+	if f.Plan == nil {
+		if err := f.CompileOffline(); err != nil {
+			return nil, err
+		}
+	}
+	ex, err := serve.NewPlanExecutor(f.Plan, f.TuningPath(), f.Scaled, f.Table)
+	if err != nil {
+		return nil, err
+	}
+	return serve.NewServer(ex, f.Task, cfg)
+}

@@ -88,6 +88,18 @@ func FromRate(w, h int, rate float64) Mask {
 	return Grid(w, h, keepW, keepH)
 }
 
+// FractionGrid returns the grid mask that computes approximately frac of a
+// w×h map's positions — the inverse convenience of FromRate, used by the
+// online server to synthesize degradation paths when no measured tuning
+// table exists. The realized fraction is quantized to whole kept rows and
+// columns; callers read the achieved value back as 1 − Rate().
+func FractionGrid(w, h int, frac float64) Mask {
+	if frac >= 1 {
+		return Full(w, h)
+	}
+	return FromRate(w, h, 1-frac)
+}
+
 // spaced returns k indices evenly spread over [0, n).
 func spaced(n, k int) []int {
 	idx := make([]int, k)

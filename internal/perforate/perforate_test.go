@@ -205,3 +205,19 @@ func TestFromRateMonotoneProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestFractionGrid: keep fraction ≥ requested target, full grid at 1.
+func TestFractionGrid(t *testing.T) {
+	if m := FractionGrid(13, 13, 1); m.Rate() != 0 {
+		t.Fatalf("frac 1 perforated %.3f of the grid", m.Rate())
+	}
+	// The kept fraction tracks the request up to grid quantization (one
+	// row/column of rounding each way).
+	tol := 1.0/27 + 1.0/13
+	for _, frac := range []float64{0.9, 0.64, 0.5, 0.3} {
+		m := FractionGrid(27, 13, frac)
+		if kept := 1 - m.Rate(); math.Abs(kept-frac) > tol {
+			t.Errorf("frac %.2f: kept %.3f off by more than %.3f", frac, kept, tol)
+		}
+	}
+}

@@ -58,7 +58,7 @@ func (m *Manager) applyLevel() {
 	for i, l := range layers {
 		k := e.Keeps[i]
 		ho, wo := l.OutDims()
-		if k.full(wo, ho) {
+		if k.Full(wo, ho) {
 			l.SetPerforation(0, 0)
 		} else {
 			l.SetPerforation(k.W, k.H)

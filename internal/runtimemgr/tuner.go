@@ -20,8 +20,8 @@ import (
 // is actually computed. Zero values mean full computation.
 type KeepGrid struct{ W, H int }
 
-// full reports whether the grid computes every position of a wo×ho map.
-func (k KeepGrid) full(wo, ho int) bool {
+// Full reports whether the grid computes every position of a wo×ho map.
+func (k KeepGrid) Full(wo, ho int) bool {
 	return k.W <= 0 || k.H <= 0 || (k.W >= wo && k.H >= ho)
 }
 
@@ -55,7 +55,7 @@ func (t *Table) KeepFractions(level int, dims []KeepGrid) map[string]float64 {
 	for i, name := range t.LayerNames {
 		full := float64(dims[i].W * dims[i].H)
 		k := e.Keeps[i]
-		if k.full(dims[i].W, dims[i].H) {
+		if k.Full(dims[i].W, dims[i].H) {
 			out[name] = 1
 			continue
 		}
@@ -95,7 +95,7 @@ func FLOPsTimeModel(net *nn.Sequential) TimeModel {
 		t := fixed
 		for i, k := range keeps {
 			frac := 1.0
-			if !k.full(dims[i].W, dims[i].H) {
+			if !k.Full(dims[i].W, dims[i].H) {
 				frac = float64(k.W*k.H) / float64(dims[i].W*dims[i].H)
 			}
 			t += flops[i] * frac

@@ -87,6 +87,20 @@ func (t Task) TimeBudget() float64 {
 	return t.TiMS
 }
 
+// SlackMS returns how much of the task's hard deadline remains once a
+// request has already waited waitedMS and is predicted to need
+// predictedMS more to execute (the Eq 12 time model's estimate). The
+// online batcher flushes when the oldest request's slack reaches zero and
+// escalates the tuning level when it goes negative. Background tasks have
+// infinite slack.
+func (t Task) SlackMS(waitedMS, predictedMS float64) float64 {
+	d := t.Deadline()
+	if math.IsInf(d, 1) {
+		return math.Inf(1)
+	}
+	return d - waitedMS - predictedMS
+}
+
 // SoCTime returns the time component of user satisfaction (Fig 3):
 // 1 in the imperceptible region, 0 in the unusable region, and a linear
 // ramp across the tolerable region of interactive tasks.

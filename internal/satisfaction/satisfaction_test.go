@@ -158,3 +158,51 @@ func TestSoCAccuracyMonotoneProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSlackMS is the table-driven deadline-slack coverage across the three
+// archetypes (satellite of the serving PR): the fps-derived surveillance
+// deadline, the interactive tolerable-region deadline, infinite background
+// slack, and the zero/negative-slack edge cases the online batcher keys
+// flush-versus-escalate decisions on.
+func TestSlackMS(t *testing.T) {
+	frame60 := 1000.0 / 60
+	cases := []struct {
+		name                  string
+		task                  Task
+		waitedMS, predictedMS float64
+		want                  float64
+	}{
+		{"interactive idle", AgeDetection(), 0, 0, 3000},
+		{"interactive part-spent", AgeDetection(), 500, 1500, 1000},
+		{"interactive exactly zero", AgeDetection(), 1000, 2000, 0},
+		{"interactive negative", AgeDetection(), 2500, 1000, -500},
+		{"surveillance 60fps idle", VideoSurveillance(60), 0, 0, frame60},
+		{"surveillance 60fps mid-frame", VideoSurveillance(60), 10, 5, frame60 - 15},
+		{"surveillance 30fps negative", VideoSurveillance(30), 20, 20, 1000.0/30 - 40},
+		{"background infinite", ImageTagging(), 1e9, 1e9, math.Inf(1)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := c.task.SlackMS(c.waitedMS, c.predictedMS)
+			if math.IsInf(c.want, 1) {
+				if !math.IsInf(got, 1) {
+					t.Fatalf("SlackMS = %v, want +Inf", got)
+				}
+				return
+			}
+			if math.Abs(got-c.want) > 1e-9 {
+				t.Fatalf("SlackMS(%v, %v) = %v, want %v", c.waitedMS, c.predictedMS, got, c.want)
+			}
+		})
+	}
+}
+
+// Slack must agree with the deadline definition: zero waited+predicted
+// budget leaves exactly Deadline() of slack for every archetype.
+func TestSlackMatchesDeadline(t *testing.T) {
+	for _, task := range EvaluationTasks() {
+		if got, want := task.SlackMS(0, 0), task.Deadline(); got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+			t.Errorf("%s: SlackMS(0,0) = %v, want Deadline() = %v", task.Name, got, want)
+		}
+	}
+}

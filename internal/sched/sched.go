@@ -7,6 +7,8 @@
 package sched
 
 import (
+	"errors"
+	"fmt"
 	"math"
 
 	"pcnn/internal/compile"
@@ -84,9 +86,10 @@ func All() []Scheduler {
 // from the training stage (VGGNet trains at 256; Section V.B.2).
 const trainingBatch = 256
 
-// collectionDelayMS returns how long batching defers a response: the
-// (batch−1) additional requests must arrive first.
-func collectionDelayMS(task satisfaction.Task, batch int) float64 {
+// CollectionDelayMS returns how long batching defers a response: the
+// (batch−1) additional requests must arrive first. The online server in
+// internal/serve replaces this model with the measured queue wait.
+func CollectionDelayMS(task satisfaction.Task, batch int) float64 {
 	if batch <= 1 {
 		return 0
 	}
@@ -102,7 +105,7 @@ func finish(name string, sc Scenario, batch int, agg gpu.Aggregate, entropy floa
 		Scheduler:       name,
 		Batch:           batch,
 		BatchMS:         agg.TimeMS,
-		ResponseMS:      agg.TimeMS + collectionDelayMS(sc.Task, batch),
+		ResponseMS:      agg.TimeMS + CollectionDelayMS(sc.Task, batch),
 		EnergyPerImageJ: agg.EnergyJ / float64(batch),
 		Entropy:         entropy,
 		FreedSMAvg:      freed,
@@ -114,17 +117,28 @@ func finish(name string, sc Scenario, batch int, agg gpu.Aggregate, entropy floa
 	return o
 }
 
+// ErrNoFitBatch is the sentinel returned when not even a single-image
+// batch fits the device's usable memory; schedulers surface it (wrapped
+// with the network and device names) instead of silently running at
+// batch 1 on a device that cannot hold the network at all.
+var ErrNoFitBatch = errors.New("sched: no batch size fits device memory")
+
 // fitBatch shrinks a desired batch until the buffer-reusing footprint fits
-// device memory.
-func fitBatch(net *nn.NetShape, dev *gpu.Device, batch int) int {
+// device memory. It fails with ErrNoFitBatch when even batch 1 exceeds the
+// usable memory.
+func fitBatch(net *nn.NetShape, dev *gpu.Device, batch int) (int, error) {
 	b := batch
-	for b > 1 && net.MemoryFootprintBytes(b) > dev.UsableMemBytes() {
-		b--
-	}
 	if b < 1 {
 		b = 1
 	}
-	return b
+	for b > 1 && net.MemoryFootprintBytes(b) > dev.UsableMemBytes() {
+		b--
+	}
+	if net.MemoryFootprintBytes(b) > dev.UsableMemBytes() {
+		return 0, fmt.Errorf("sched: %s on %s (%d MiB usable): %w",
+			net.Name, dev.Name, dev.UsableMemBytes()>>20, ErrNoFitBatch)
+	}
+	return b, nil
 }
 
 // PerformancePreferred runs non-batched inference with tuned kernels on
@@ -156,7 +170,10 @@ func (EnergyEfficient) Name() string { return "Energy" }
 
 // Run implements Scheduler.
 func (EnergyEfficient) Run(sc Scenario) (Outcome, error) {
-	b := fitBatch(sc.Net, sc.Dev, trainingBatch)
+	b, err := fitBatch(sc.Net, sc.Dev, trainingBatch)
+	if err != nil {
+		return Outcome{}, err
+	}
 	plan, err := compile.CompileAtBatch(sc.Net, sc.Dev, sc.Task, b)
 	if err != nil {
 		return Outcome{}, err

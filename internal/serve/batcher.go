@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"math"
+	"time"
+
+	"pcnn/internal/tensor"
+)
+
+// msSince returns the wall-clock milliseconds elapsed since t.
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t)) / float64(time.Millisecond)
+}
+
+// batcher is the coalescing loop: it accumulates requests until the batch
+// is full or the oldest request's slack (deadline − Eq 12 prediction) runs
+// out, then hands the batch to the worker pool. Backpressure is natural:
+// when every worker is busy the flush send blocks, the admission queue
+// fills, and Submit starts rejecting.
+func (s *Server) batcher() {
+	defer close(s.batcherDone)
+	defer close(s.flushCh)
+
+	var pending []*request
+	var timer *time.Timer
+	var timerC <-chan time.Time
+	disarm := func() {
+		if timer != nil {
+			timer.Stop()
+			timer = nil
+		}
+		timerC = nil
+	}
+	arm := func(d time.Duration) {
+		disarm()
+		if d < 0 {
+			d = 0
+		}
+		timer = time.NewTimer(d)
+		timerC = timer.C
+	}
+
+	for {
+		select {
+		case r, ok := <-s.submitCh:
+			if !ok {
+				disarm()
+				if len(pending) > 0 {
+					s.flush(pending)
+				}
+				return
+			}
+			pending = append(pending, r)
+			if len(pending) >= s.cfg.MaxBatch {
+				disarm()
+				s.flush(pending)
+				pending = nil
+				continue
+			}
+			arm(s.flushDelay(pending))
+		case <-timerC:
+			timerC, timer = nil, nil
+			if len(pending) > 0 {
+				s.flush(pending)
+				pending = nil
+			}
+		}
+	}
+}
+
+// flushDelay returns how much longer the batcher may hold the pending
+// batch: the oldest request's remaining slack at the current level,
+// additionally capped by the linger window so tasks with lazy deadlines
+// (or none at all) still flush promptly.
+func (s *Server) flushDelay(pending []*request) time.Duration {
+	waited := msSince(pending[0].at)
+	linger := s.cfg.LingerMS - waited
+	slack := s.task.SlackMS(waited, s.queuePredictMS(s.ctrl.Level(), len(pending)))
+	d := math.Min(slack, linger)
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(d * float64(time.Millisecond))
+}
+
+// queuePredictMS estimates how long a flush of n requests will take to
+// finish at a level: the batches already in flight ahead of it (spread
+// over the worker pool) plus its own predicted execution time.
+func (s *Server) queuePredictMS(level, n int) float64 {
+	ahead := float64(s.inflight.Load()) * s.ex.PredictMS(level, s.cfg.MaxBatch) / float64(s.cfg.Workers)
+	return ahead + s.ex.PredictMS(level, n)
+}
+
+// flush hands one batch to the worker pool, escalating the degradation
+// level first if the oldest request's slack has gone negative (graceful
+// degradation instead of dropping).
+func (s *Server) flush(reqs []*request) {
+	oldest := reqs[0]
+	n := len(reqs)
+	level := s.ctrl.Level()
+	if !s.cfg.DisableDegrade {
+		level = s.ctrl.escalate(func(l int) bool {
+			return s.task.SlackMS(msSince(oldest.at), s.queuePredictMS(l, n)) >= 0
+		})
+	}
+	s.inflight.Add(1)
+	s.flushCh <- &batchJob{reqs: reqs, level: level}
+}
+
+// worker executes flushed batches until the batcher closes the channel.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for job := range s.flushCh {
+		s.runBatch(job)
+	}
+}
+
+// gatherInputs assembles the batch input tensor when every request carries
+// a sample; nil otherwise (simulation-only requests).
+func gatherInputs(reqs []*request) *tensor.Tensor {
+	for _, r := range reqs {
+		if r.input == nil {
+			return nil
+		}
+	}
+	shape := reqs[0].input.Shape()
+	per := reqs[0].input.Len()
+	batch := tensor.New(append([]int{len(reqs)}, shape...)...)
+	for i, r := range reqs {
+		if r.input.Len() != per {
+			return nil // heterogeneous samples; fall back to simulation-only
+		}
+		copy(batch.Data[i*per:(i+1)*per], r.input.Data)
+	}
+	return batch
+}
+
+// runBatch executes one batch, resolves its futures, and feeds the
+// entropy/slack signals back into the controller.
+func (s *Server) runBatch(job *batchJob) {
+	n := len(job.reqs)
+	start := time.Now()
+	res, err := s.ex.Execute(job.level, n, gatherInputs(job.reqs))
+	if s.cfg.Pace > 0 && err == nil {
+		time.Sleep(time.Duration(res.TimeMS * s.cfg.Pace * float64(time.Millisecond)))
+	}
+	s.inflight.Add(-1)
+	s.queueDepth.Add(int64(-n))
+	if err != nil {
+		s.st.failBatch(n)
+		for _, r := range job.reqs {
+			r.fut.ch <- outcome{err: err}
+		}
+		return
+	}
+
+	perImageJ := res.EnergyJ / float64(n)
+	oldestResponseMS := 0.0
+	for i, r := range job.reqs {
+		queueMS := float64(start.Sub(r.at)) / float64(time.Millisecond)
+		if queueMS < 0 {
+			queueMS = 0
+		}
+		responseMS := queueMS + res.TimeMS
+		if responseMS > oldestResponseMS {
+			oldestResponseMS = responseMS
+		}
+		out := Result{
+			ID:              r.id,
+			Batch:           n,
+			Level:           job.level,
+			QueueMS:         queueMS,
+			ExecMS:          res.TimeMS,
+			ResponseMS:      responseMS,
+			EnergyPerImageJ: perImageJ,
+			Entropy:         res.Entropy,
+			SoC:             s.task.SoC(responseMS, res.Entropy, perImageJ),
+			DeadlineMet:     responseMS <= s.task.Deadline(),
+		}
+		if res.Probs != nil && i < len(res.Probs) {
+			out.Probs = res.Probs[i]
+		}
+		s.st.record(out)
+		r.fut.ch <- outcome{res: out}
+	}
+
+	deadline := s.task.Deadline()
+	comfortable := !math.IsInf(deadline, 1) && oldestResponseMS <= 0.5*deadline
+	s.ctrl.observe(res.Entropy > s.task.EntropyThreshold, comfortable)
+	s.st.batchDone(n)
+}

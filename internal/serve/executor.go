@@ -1,0 +1,294 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"pcnn/internal/compile"
+	"pcnn/internal/entropy"
+	"pcnn/internal/gpu"
+	"pcnn/internal/nn"
+	"pcnn/internal/perforate"
+	"pcnn/internal/runtimemgr"
+	"pcnn/internal/satisfaction"
+	"pcnn/internal/sched"
+	"pcnn/internal/tensor"
+)
+
+// BatchResult is what executing one coalesced batch produced.
+type BatchResult struct {
+	// TimeMS and EnergyJ are the simulated cost of the whole batch on the
+	// plan's device.
+	TimeMS  float64
+	EnergyJ float64
+	// Entropy is the batch's output uncertainty: measured on the attached
+	// executable network when one is present, otherwise the degradation
+	// path's recorded value for the level.
+	Entropy float64
+	// Probs holds per-request softmax rows when an executable network ran
+	// the batch for real; nil for simulation-only pipelines.
+	Probs [][]float32
+}
+
+// Executor runs coalesced batches at a degradation level. Level 0 is the
+// unperforated network; higher levels perforate more aggressively and run
+// faster at higher output uncertainty. Implementations must be safe for
+// concurrent use by the worker pool.
+type Executor interface {
+	// MaxBatch is the batch size the compiled plan selected; the batcher
+	// coalesces up to this many requests by default.
+	MaxBatch() int
+	// Levels returns the number of degradation levels (≥ 1).
+	Levels() int
+	// Entropy returns the recorded output uncertainty at a level, the
+	// value the server compares against the task threshold when picking
+	// its base operating point.
+	Entropy(level int) float64
+	// PredictMS is the Eq 12 time-model estimate for executing a batch at
+	// a level. It must be cheap: the batcher calls it on every flush.
+	PredictMS(level, batch int) float64
+	// Execute runs one batch. inputs is an N×C×H×W tensor when every
+	// request carried a sample and the pipeline has an executable network;
+	// nil otherwise.
+	Execute(level, batch int, inputs *tensor.Tensor) (BatchResult, error)
+}
+
+// DefaultSyntheticLevels is how many degradation levels SyntheticPath
+// builds for pipelines without a measured tuning table.
+const DefaultSyntheticLevels = 6
+
+// SyntheticPath builds a degradation path for pipelines that have no
+// trained scaled analogue (and hence no measured tuning table): level i
+// perforates every conv layer to step^i of its output area, quantized to
+// the grids perforate actually computes, with entropies ramping from half
+// the task threshold at level 0 to ~1.6× the threshold at the deepest
+// level — so escalation past the threshold (and the calibration backtrack
+// it triggers) stays reachable, mirroring the measured tables the tuner
+// emits.
+func SyntheticPath(net *nn.NetShape, task satisfaction.Task, levels int) []sched.TuningPoint {
+	if levels < 2 {
+		levels = 2
+	}
+	const step = 0.8
+	thr := task.EntropyThreshold
+	if thr <= 0 {
+		thr = 0.9
+	}
+	convs := net.ConvLayers()
+	path := make([]sched.TuningPoint, 0, levels)
+	for i := 0; i < levels; i++ {
+		target := math.Pow(step, float64(i))
+		var keeps map[string]float64
+		if i > 0 {
+			keeps = make(map[string]float64, len(convs))
+			for _, c := range convs {
+				ho, wo := c.OutDims()
+				m := perforate.FractionGrid(wo, ho, target)
+				keeps[c.Name] = 1 - m.Rate()
+			}
+		}
+		frac := float64(i) / float64(levels-1)
+		path = append(path, sched.TuningPoint{
+			Keeps:   keeps,
+			Entropy: thr * (0.5 + 1.1*frac*frac),
+		})
+	}
+	return path
+}
+
+// levelBatch keys the per-(level, batch) simulation cache.
+type levelBatch struct{ level, batch int }
+
+// PlanExecutor implements Executor on top of a compiled plan, a
+// degradation path, and (optionally) the trained scaled analogue whose
+// measured entropy drives calibration. Simulated aggregates and re-batched
+// plans are cached per (level, batch), so steady-state serving costs one
+// map lookup per flush.
+type PlanExecutor struct {
+	plan   *compile.Plan
+	path   []sched.TuningPoint
+	scaled *nn.Sequential
+	table  *runtimemgr.Table
+
+	mu    sync.Mutex
+	plans map[int]*compile.Plan
+	aggs  map[levelBatch]gpu.Aggregate
+
+	// netMu serializes perforation state on the shared scaled network.
+	netMu sync.Mutex
+}
+
+// NewPlanExecutor builds the production executor. path may be nil, in
+// which case a synthetic degradation path is derived from the plan's
+// network and task. scaled and table must be passed together (the table
+// maps levels onto the scaled network's perforable layers); both nil gives
+// a simulation-only pipeline.
+func NewPlanExecutor(plan *compile.Plan, path []sched.TuningPoint, scaled *nn.Sequential, table *runtimemgr.Table) (*PlanExecutor, error) {
+	if plan == nil {
+		return nil, errors.New("serve: NewPlanExecutor needs a compiled plan")
+	}
+	if (scaled == nil) != (table == nil) {
+		return nil, errors.New("serve: scaled network and tuning table must be attached together")
+	}
+	if len(path) == 0 {
+		path = SyntheticPath(plan.Net, plan.Task, DefaultSyntheticLevels)
+	}
+	return &PlanExecutor{
+		plan:   plan,
+		path:   path,
+		scaled: scaled,
+		table:  table,
+		plans:  map[int]*compile.Plan{plan.Batch: plan},
+		aggs:   map[levelBatch]gpu.Aggregate{},
+	}, nil
+}
+
+// MaxBatch implements Executor.
+func (e *PlanExecutor) MaxBatch() int { return e.plan.Batch }
+
+// Levels implements Executor.
+func (e *PlanExecutor) Levels() int { return len(e.path) }
+
+// Entropy implements Executor.
+func (e *PlanExecutor) Entropy(level int) float64 {
+	return e.path[e.clamp(level)].Entropy
+}
+
+func (e *PlanExecutor) clamp(level int) int {
+	if level < 0 {
+		return 0
+	}
+	if level >= len(e.path) {
+		return len(e.path) - 1
+	}
+	return level
+}
+
+// planFor returns (caching) the plan re-batched to the given size, so
+// partial flushes are costed for the batch they actually carry.
+func (e *PlanExecutor) planFor(batch int) (*compile.Plan, error) {
+	if batch < 1 {
+		batch = 1
+	}
+	e.mu.Lock()
+	p, ok := e.plans[batch]
+	e.mu.Unlock()
+	if ok {
+		return p, nil
+	}
+	p, err := compile.CompileAtBatch(e.plan.Net, e.plan.Dev, e.plan.Task, batch)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.plans[batch] = p
+	e.mu.Unlock()
+	return p, nil
+}
+
+// PredictMS implements Executor: the analytic per-layer time model with
+// conv layers scaled by the level's keep fraction (perforation shrinks the
+// GEMM N dimension proportionally).
+func (e *PlanExecutor) PredictMS(level, batch int) float64 {
+	p, err := e.planFor(batch)
+	if err != nil {
+		// Fall back to the compiled plan's estimate; Execute will surface
+		// the error properly.
+		p = e.plan
+	}
+	keeps := e.path[e.clamp(level)].Keeps
+	var ms float64
+	for _, l := range p.Layers {
+		frac := 1.0
+		if l.GEMM.IsConv {
+			if f, ok := keeps[l.Name]; ok && f < 1 {
+				frac = f
+			}
+		}
+		ms += l.PredictedMS * frac
+	}
+	return ms
+}
+
+// aggFor simulates (caching) one batch at a level on the plan's device.
+func (e *PlanExecutor) aggFor(level, batch int) (gpu.Aggregate, error) {
+	key := levelBatch{level, batch}
+	e.mu.Lock()
+	agg, ok := e.aggs[key]
+	e.mu.Unlock()
+	if ok {
+		return agg, nil
+	}
+	p, err := e.planFor(batch)
+	if err != nil {
+		return gpu.Aggregate{}, err
+	}
+	keeps := e.path[level].Keeps
+	if len(keeps) == 0 {
+		_, agg, err = p.Simulate(true)
+	} else {
+		var launches []gpu.Launch
+		launches, err = p.PerforatedLaunches(keeps, true)
+		if err != nil {
+			return gpu.Aggregate{}, err
+		}
+		_, agg, err = p.Device().Run(launches)
+	}
+	if err != nil {
+		return gpu.Aggregate{}, err
+	}
+	e.mu.Lock()
+	e.aggs[key] = agg
+	e.mu.Unlock()
+	return agg, nil
+}
+
+// Execute implements Executor: the GPU simulator supplies the batch's time
+// and energy at the level's perforation, and — when an executable network
+// is attached — the scaled analogue classifies the inputs for real (through
+// the parallel GEMM engine), supplying softmax rows and measured entropy
+// for calibration.
+func (e *PlanExecutor) Execute(level, batch int, inputs *tensor.Tensor) (BatchResult, error) {
+	if batch < 1 {
+		return BatchResult{}, fmt.Errorf("serve: execute batch %d", batch)
+	}
+	level = e.clamp(level)
+	agg, err := e.aggFor(level, batch)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	res := BatchResult{TimeMS: agg.TimeMS, EnergyJ: agg.EnergyJ, Entropy: e.path[level].Entropy}
+	if e.scaled != nil && inputs != nil && inputs.Dim(0) > 0 {
+		probs, h := e.predict(level, inputs)
+		res.Probs, res.Entropy = probs, h
+	}
+	return res, nil
+}
+
+// predict classifies inputs on the scaled network perforated to the
+// table entry matching the level, returning softmax rows and measured
+// mean entropy.
+func (e *PlanExecutor) predict(level int, inputs *tensor.Tensor) ([][]float32, float64) {
+	e.netMu.Lock()
+	defer e.netMu.Unlock()
+	lvl := level
+	if lvl >= len(e.table.Entries) {
+		lvl = len(e.table.Entries) - 1
+	}
+	entry := e.table.Entries[lvl]
+	layers := e.scaled.PerforableLayers()
+	for i, l := range layers {
+		k := entry.Keeps[i]
+		ho, wo := l.OutDims()
+		if k.Full(wo, ho) {
+			l.SetPerforation(0, 0)
+		} else {
+			l.SetPerforation(k.W, k.H)
+		}
+	}
+	probs := e.scaled.Predict(inputs)
+	e.scaled.ClearPerforation()
+	return probs, entropy.Mean(probs)
+}

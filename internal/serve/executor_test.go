@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"pcnn/internal/compile"
+	"pcnn/internal/gpu"
+	"pcnn/internal/nn"
+	"pcnn/internal/runtimemgr"
+	"pcnn/internal/satisfaction"
+	"pcnn/internal/sched"
+	"pcnn/internal/tensor"
+)
+
+func compilePlan(t *testing.T, netName, devName string, task satisfaction.Task) *compile.Plan {
+	t.Helper()
+	plan, err := compile.Compile(nn.NetShapeByName(netName), gpu.PlatformByName(devName), task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// TestSyntheticPath: monotone aggression, threshold crossing reachable.
+func TestSyntheticPath(t *testing.T) {
+	task := satisfaction.VideoSurveillance(60)
+	path := SyntheticPath(nn.AlexNetShape(), task, DefaultSyntheticLevels)
+	if len(path) != DefaultSyntheticLevels {
+		t.Fatalf("levels = %d, want %d", len(path), DefaultSyntheticLevels)
+	}
+	if len(path[0].Keeps) != 0 {
+		t.Errorf("level 0 must be unperforated, got keeps %v", path[0].Keeps)
+	}
+	for i := 1; i < len(path); i++ {
+		if path[i].Entropy <= path[i-1].Entropy {
+			t.Errorf("entropy not increasing at level %d: %v ≤ %v", i, path[i].Entropy, path[i-1].Entropy)
+		}
+		for name, f := range path[i].Keeps {
+			if f <= 0 || f > 1 {
+				t.Errorf("level %d layer %s keep %v out of (0,1]", i, name, f)
+			}
+		}
+	}
+	if last := path[len(path)-1].Entropy; last <= task.EntropyThreshold {
+		t.Errorf("deepest level entropy %v never crosses threshold %v (calibration unreachable)",
+			last, task.EntropyThreshold)
+	}
+	if base := path[0].Entropy; base > task.EntropyThreshold {
+		t.Errorf("base entropy %v already above threshold %v", base, task.EntropyThreshold)
+	}
+}
+
+// TestPlanExecutor runs the production executor on a real compiled plan:
+// prediction and simulation must both get faster as the level deepens.
+func TestPlanExecutor(t *testing.T) {
+	task := satisfaction.VideoSurveillance(60)
+	plan := compilePlan(t, "AlexNet", "TX1", task)
+	ex, err := NewPlanExecutor(plan, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Levels() < 2 {
+		t.Fatalf("levels = %d", ex.Levels())
+	}
+	deep := ex.Levels() - 1
+	p0 := ex.PredictMS(0, 1)
+	pd := ex.PredictMS(deep, 1)
+	if !(p0 > 0 && pd > 0 && pd < p0) {
+		t.Fatalf("prediction not monotone: level0 %.3fms, deepest %.3fms", p0, pd)
+	}
+	r0, err := ex.Execute(0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := ex.Execute(deep, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r0.TimeMS > 0 && r0.EnergyJ > 0) {
+		t.Fatalf("level-0 execution degenerate: %+v", r0)
+	}
+	if rd.TimeMS >= r0.TimeMS {
+		t.Errorf("perforated execution not faster: %.3fms vs %.3fms", rd.TimeMS, r0.TimeMS)
+	}
+	if rd.Entropy <= r0.Entropy {
+		t.Errorf("perforated entropy not higher: %v vs %v", rd.Entropy, r0.Entropy)
+	}
+}
+
+// TestServerOnPlanExecutor is the end-to-end closed loop on the real
+// pipeline: a background deployment serves a burst with zero loss and a
+// positive mean SoC.
+func TestServerOnPlanExecutor(t *testing.T) {
+	task := satisfaction.ImageTagging()
+	plan := compilePlan(t, "AlexNet", "K20c", task)
+	ex, err := NewPlanExecutor(plan, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(ex, task, Config{Workers: 2, MaxBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 24
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for i := 0; i < n; i++ {
+		f, err := s.Submit()
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if _, err := f.Wait(ctx); err != nil {
+			t.Fatalf("wait %d: %v", i, err)
+		}
+	}
+	snap := s.Stats()
+	closeServer(t, s)
+	if snap.Completed != n || snap.Rejected != 0 || snap.Failed != 0 {
+		t.Fatalf("loss in closed loop: %+v", snap)
+	}
+	if snap.MeanSoC <= 0 {
+		t.Fatalf("mean SoC = %v, want > 0", snap.MeanSoC)
+	}
+	if snap.EnergyPerImageJ <= 0 {
+		t.Fatalf("energy per image = %v, want > 0", snap.EnergyPerImageJ)
+	}
+}
+
+// TestExecutorWithScaledNet covers the executable path: an (untrained)
+// scaled network plus a hand-built tuning table must yield real softmax
+// rows and a measured — not tabulated — batch entropy.
+func TestExecutorWithScaledNet(t *testing.T) {
+	task := satisfaction.ImageTagging()
+	plan := compilePlan(t, "AlexNet", "K20c", task)
+	scaled := nn.AlexNetS(rand.New(rand.NewSource(1)))
+
+	layers := scaled.PerforableLayers()
+	full := make([]runtimemgr.KeepGrid, len(layers))
+	halved := make([]runtimemgr.KeepGrid, len(layers))
+	for i, l := range layers {
+		ho, wo := l.OutDims()
+		halved[i] = runtimemgr.KeepGrid{W: (wo + 1) / 2, H: (ho + 1) / 2}
+	}
+	table := &runtimemgr.Table{
+		LayerNames: layerNames(layers),
+		Entries: []runtimemgr.TableEntry{
+			{Keeps: full, Speedup: 1, TunedLayer: -1},
+			{Keeps: halved, Speedup: 2, TunedLayer: 0},
+		},
+	}
+	path := []sched.TuningPoint{{Entropy: 0.2}, {Entropy: 0.5}}
+
+	ex, err := NewPlanExecutor(plan, path, scaled, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := tensor.New(3, 3, nn.ScaledInputSize, nn.ScaledInputSize)
+	for i := range inputs.Data {
+		inputs.Data[i] = float32(i%7) * 0.1
+	}
+	for level := 0; level < 2; level++ {
+		res, err := ex.Execute(level, 3, inputs)
+		if err != nil {
+			t.Fatalf("level %d: %v", level, err)
+		}
+		if len(res.Probs) != 3 {
+			t.Fatalf("level %d: %d prob rows, want 3", level, len(res.Probs))
+		}
+		if res.Entropy <= 0 {
+			t.Fatalf("level %d: measured entropy %v, want > 0", level, res.Entropy)
+		}
+		if res.Entropy == path[level].Entropy {
+			t.Errorf("level %d: entropy equals the tabulated value; measurement did not run", level)
+		}
+	}
+	// The network must be left unperforated for the next batch.
+	for _, l := range layers {
+		if kw, kh := l.Perforation(); kw != 0 || kh != 0 {
+			t.Fatalf("layer %s left perforated (%d×%d) after Execute", l.Name(), kw, kh)
+		}
+	}
+}
+
+func layerNames(layers []nn.Perforable) []string {
+	out := make([]string, len(layers))
+	for i, l := range layers {
+		out[i] = l.Name()
+	}
+	return out
+}

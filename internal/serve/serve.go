@@ -1,0 +1,277 @@
+// Package serve is the online inference-serving subsystem: it turns the
+// offline artifacts of the reproduction — a compiled Plan, the GPU
+// simulator, the perforation tuning path, and (optionally) the trained
+// scaled network — into an event-driven server for a *stream* of requests,
+// the way the paper's three task archetypes actually arrive (interactive
+// age detection, fixed-fps surveillance, background tagging).
+//
+// The pipeline is:
+//
+//	Submit ──▶ admission queue ──▶ dynamic batcher ──▶ worker pool ──▶ futures
+//
+// The batcher coalesces requests up to the plan's compiled batch size or
+// until the oldest request's slack — deadline minus the Eq 12 time-model
+// prediction — runs out, whichever comes first. When predicted queue
+// latency exceeds the deadline, the server does not drop the request: it
+// escalates the perforation level (graceful degradation), and backtracks
+// along the path (calibration) whenever a batch's measured output entropy
+// crosses the user's threshold. This makes Section IV.C's run-time
+// management an actual loop over live traffic rather than a precomputed
+// table.
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pcnn/internal/satisfaction"
+	"pcnn/internal/tensor"
+)
+
+// Sentinel errors of the serving API.
+var (
+	// ErrServerClosed is returned by Submit after Close started draining.
+	ErrServerClosed = errors.New("serve: server closed")
+	// ErrQueueFull is returned when admission control rejects a request
+	// because the queue is at capacity (the only condition under which the
+	// server refuses work; deadline pressure degrades instead).
+	ErrQueueFull = errors.New("serve: admission queue full")
+)
+
+// Config tunes the online server. The zero value picks sensible defaults.
+type Config struct {
+	// MaxBatch caps how many requests one flush coalesces; 0 uses the
+	// executor's compiled batch size.
+	MaxBatch int
+	// QueueCap bounds the admission queue; 0 means 1024.
+	QueueCap int
+	// Workers sizes the worker pool executing flushed batches; 0 means 2.
+	Workers int
+	// DisableDegrade turns perforation escalation off (requests then miss
+	// deadlines instead of trading accuracy) — the control configuration
+	// the evaluation compares against.
+	DisableDegrade bool
+	// RecoverAfter is how many comfortable flushes ease an escalated level
+	// back one step (and how long a calibration pins its ceiling); 0 means
+	// 8.
+	RecoverAfter int
+	// LingerMS is the longest a partially filled batch waits for more
+	// arrivals when the deadline is not pressing (background tasks have no
+	// deadline at all); 0 means 20 ms.
+	LingerMS float64
+	// Pace is how many wall-clock milliseconds a worker stays occupied per
+	// simulated millisecond of batch execution. 0 disables pacing (tests,
+	// offline drains); 1 serves in simulated real time, which is what
+	// makes open-loop overload produce genuine queueing.
+	Pace float64
+}
+
+func (c Config) withDefaults(execMaxBatch int) Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = execMaxBatch
+	}
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 1
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 1024
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.RecoverAfter <= 0 {
+		c.RecoverAfter = 8
+	}
+	if c.LingerMS <= 0 {
+		c.LingerMS = 20
+	}
+	return c
+}
+
+// Result is one request's serving outcome.
+type Result struct {
+	ID    uint64
+	Batch int // how many requests shared the executed batch
+	Level int // degradation level the batch ran at
+
+	QueueMS    float64 // measured wall-clock wait until execution started
+	ExecMS     float64 // simulated batch execution time
+	ResponseMS float64 // QueueMS + ExecMS, the deadline-checked latency
+
+	EnergyPerImageJ float64
+	Entropy         float64
+	SoC             float64
+	DeadlineMet     bool
+
+	// Probs is the request's softmax row when an executable network ran
+	// the batch; nil for simulation-only pipelines.
+	Probs []float32
+}
+
+type outcome struct {
+	res Result
+	err error
+}
+
+// Future resolves to one request's Result once its batch executed. Wait
+// may be called once.
+type Future struct{ ch chan outcome }
+
+// Wait blocks until the request is served, the server fails its batch, or
+// ctx expires.
+func (f *Future) Wait(ctx context.Context) (Result, error) {
+	select {
+	case o := <-f.ch:
+		return o.res, o.err
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// request is one queued unit of work.
+type request struct {
+	id    uint64
+	at    time.Time
+	input *tensor.Tensor // optional C×H×W sample for executable pipelines
+	fut   *Future
+}
+
+// batchJob is one flushed batch on its way to the worker pool.
+type batchJob struct {
+	reqs  []*request
+	level int
+}
+
+// Server is the online serving engine for one (network, device, task)
+// deployment.
+type Server struct {
+	cfg  Config
+	task satisfaction.Task
+	ex   Executor
+	ctrl *controller
+	st   *stats
+
+	mu     sync.RWMutex // guards closed and the submitCh send
+	closed bool
+
+	submitCh chan *request
+	flushCh  chan *batchJob
+
+	batcherDone chan struct{}
+	workers     sync.WaitGroup
+
+	nextID     atomic.Uint64
+	inflight   atomic.Int64 // batches flushed but not yet executed
+	queueDepth atomic.Int64 // requests accepted but not yet executed
+}
+
+// NewServer starts the batcher and worker pool for an executor serving a
+// task. Callers must Close the server to release its goroutines.
+func NewServer(ex Executor, task satisfaction.Task, cfg Config) (*Server, error) {
+	if ex == nil {
+		return nil, errors.New("serve: nil executor")
+	}
+	if err := task.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults(ex.MaxBatch())
+	s := &Server{
+		cfg:         cfg,
+		task:        task,
+		ex:          ex,
+		ctrl:        newController(ex.Levels(), baseLevel(ex, task), cfg.RecoverAfter),
+		st:          newStats(),
+		submitCh:    make(chan *request, cfg.QueueCap),
+		flushCh:     make(chan *batchJob, cfg.Workers),
+		batcherDone: make(chan struct{}),
+	}
+	go s.batcher()
+	s.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// baseLevel picks the preferred operating point the way the P-CNN
+// scheduler does: the most aggressive level whose recorded entropy stays
+// inside the task's threshold (level 0 when none does).
+func baseLevel(ex Executor, task satisfaction.Task) int {
+	base := 0
+	for l := 0; l < ex.Levels(); l++ {
+		if ex.Entropy(l) <= task.EntropyThreshold {
+			base = l
+		}
+	}
+	return base
+}
+
+// Submit enqueues one request without an input sample.
+func (s *Server) Submit() (*Future, error) { return s.SubmitInput(nil) }
+
+// SubmitInput enqueues one request carrying a C×H×W sample for pipelines
+// with an executable network attached. It never blocks: admission control
+// answers immediately with a future, ErrQueueFull, or ErrServerClosed.
+func (s *Server) SubmitInput(input *tensor.Tensor) (*Future, error) {
+	r := &request{
+		id:    s.nextID.Add(1),
+		at:    time.Now(),
+		input: input,
+		fut:   &Future{ch: make(chan outcome, 1)},
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrServerClosed
+	}
+	select {
+	case s.submitCh <- r:
+		s.queueDepth.Add(1)
+		s.st.submittedInc()
+		return r.fut, nil
+	default:
+		s.st.rejectedInc()
+		return nil, ErrQueueFull
+	}
+}
+
+// Close stops admission, drains every accepted request through the worker
+// pool, and waits for the pipeline to exit (bounded by ctx). Every future
+// handed out before Close resolves.
+func (s *Server) Close(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	if !already {
+		close(s.submitCh)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		<-s.batcherDone
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Stats returns a point-in-time snapshot of the serving metrics.
+func (s *Server) Stats() Snapshot {
+	esc, cal, rec := s.ctrl.counts()
+	return s.st.snapshot(s.task, s.ctrl.Level(), int(s.queueDepth.Load()), esc, cal, rec)
+}
+
+// Task returns the task this server was deployed for.
+func (s *Server) Task() satisfaction.Task { return s.task }
+
+// Level returns the current degradation level (0 = unperforated).
+func (s *Server) Level() int { return s.ctrl.Level() }

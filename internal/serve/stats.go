@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"pcnn/internal/satisfaction"
+)
+
+// latSample bounds the latency reservoir; beyond it the ring overwrites
+// the oldest samples so percentiles track recent behaviour.
+const latSample = 16384
+
+// stats accumulates serving metrics. All methods are safe for concurrent
+// use.
+type stats struct {
+	mu        sync.Mutex
+	start     time.Time
+	submitted uint64
+	rejected  uint64
+	completed uint64
+	failed    uint64
+	batches   uint64
+	batchSum  uint64
+	missed    uint64
+
+	energyJ    float64
+	socSum     float64
+	entropySum float64
+
+	lat    []float64
+	latIdx int
+}
+
+func newStats() *stats { return &stats{start: time.Now()} }
+
+func (s *stats) submittedInc() {
+	s.mu.Lock()
+	s.submitted++
+	s.mu.Unlock()
+}
+
+func (s *stats) rejectedInc() {
+	s.mu.Lock()
+	s.rejected++
+	s.mu.Unlock()
+}
+
+// record folds one completed request's result in.
+func (s *stats) record(r Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.completed++
+	if !r.DeadlineMet {
+		s.missed++
+	}
+	s.energyJ += r.EnergyPerImageJ
+	s.socSum += r.SoC
+	s.entropySum += r.Entropy
+	if len(s.lat) < latSample {
+		s.lat = append(s.lat, r.ResponseMS)
+	} else {
+		s.lat[s.latIdx] = r.ResponseMS
+		s.latIdx = (s.latIdx + 1) % latSample
+	}
+}
+
+// batchDone records one executed batch of n requests.
+func (s *stats) batchDone(n int) {
+	s.mu.Lock()
+	s.batches++
+	s.batchSum += uint64(n)
+	s.mu.Unlock()
+}
+
+// failBatch records n requests whose batch execution errored.
+func (s *stats) failBatch(n int) {
+	s.mu.Lock()
+	s.failed += uint64(n)
+	s.mu.Unlock()
+}
+
+// Snapshot is a point-in-time view of a server's serving metrics.
+type Snapshot struct {
+	Task  string `json:"task"`
+	Class string `json:"class"`
+
+	Submitted uint64 `json:"submitted"`
+	Rejected  uint64 `json:"rejected"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Batches   uint64 `json:"batches"`
+
+	MeanBatch     float64 `json:"mean_batch"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+
+	DeadlineMissRate float64 `json:"deadline_miss_rate"`
+	MeanSoC          float64 `json:"mean_soc"`
+	MeanEntropy      float64 `json:"mean_entropy"`
+	EnergyPerImageJ  float64 `json:"energy_per_image_j"`
+
+	Level        int    `json:"level"`
+	QueueDepth   int    `json:"queue_depth"`
+	Escalations  uint64 `json:"escalations"`
+	Calibrations uint64 `json:"calibrations"`
+	Recoveries   uint64 `json:"recoveries"`
+}
+
+// snapshot assembles the exported view.
+func (s *stats) snapshot(task satisfaction.Task, level, queueDepth int, esc, cal, rec uint64) Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := Snapshot{
+		Task:         task.Name,
+		Class:        task.Class.String(),
+		Submitted:    s.submitted,
+		Rejected:     s.rejected,
+		Completed:    s.completed,
+		Failed:       s.failed,
+		Batches:      s.batches,
+		Level:        level,
+		QueueDepth:   queueDepth,
+		Escalations:  esc,
+		Calibrations: cal,
+		Recoveries:   rec,
+	}
+	if s.batches > 0 {
+		snap.MeanBatch = float64(s.batchSum) / float64(s.batches)
+	}
+	if s.completed > 0 {
+		elapsed := time.Since(s.start).Seconds()
+		if elapsed > 0 {
+			snap.ThroughputRPS = float64(s.completed) / elapsed
+		}
+		snap.DeadlineMissRate = float64(s.missed) / float64(s.completed)
+		snap.MeanSoC = s.socSum / float64(s.completed)
+		snap.MeanEntropy = s.entropySum / float64(s.completed)
+		snap.EnergyPerImageJ = s.energyJ / float64(s.completed)
+	}
+	snap.P50MS, snap.P95MS, snap.P99MS = percentiles(s.lat)
+	return snap
+}
+
+// percentiles returns the 50th/95th/99th percentiles of the sample.
+func percentiles(sample []float64) (p50, p95, p99 float64) {
+	if len(sample) == 0 {
+		return 0, 0, 0
+	}
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	at := func(p float64) float64 {
+		i := int(math.Ceil(p*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	return at(0.50), at(0.95), at(0.99)
+}

@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"pcnn/internal/satisfaction"
+)
+
+// Arrivals is a request-arrival process: Next returns the gap until the
+// next request. The serving daemon's open-loop load generator sleeps on
+// these gaps; closed-loop mode ignores them.
+type Arrivals interface {
+	Next() time.Duration
+}
+
+// OpenArrivals is a Poisson process at rate requests/second: independent
+// users submitting whenever they like, the arrival pattern of interactive
+// and background archetypes.
+type OpenArrivals struct {
+	rate float64
+	rng  *rand.Rand
+}
+
+// NewOpenArrivals builds a Poisson arrival process. rate must be positive.
+func NewOpenArrivals(rate float64, seed int64) *OpenArrivals {
+	if rate <= 0 {
+		rate = 1
+	}
+	return &OpenArrivals{rate: rate, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next draws an exponential inter-arrival gap with mean 1/rate.
+func (o *OpenArrivals) Next() time.Duration {
+	gap := o.rng.ExpFloat64() / o.rate
+	return time.Duration(gap * float64(time.Second))
+}
+
+// PeriodicArrivals is a fixed-period process: one request every 1/rate
+// seconds, the way surveillance frames arrive from a fixed-fps camera.
+type PeriodicArrivals struct {
+	period time.Duration
+}
+
+// NewPeriodicArrivals builds a fixed-rate process. rate must be positive.
+func NewPeriodicArrivals(rate float64) *PeriodicArrivals {
+	if rate <= 0 {
+		rate = 1
+	}
+	return &PeriodicArrivals{period: time.Duration(float64(time.Second) / rate)}
+}
+
+// Next returns the constant frame period.
+func (p *PeriodicArrivals) Next() time.Duration { return p.period }
+
+// ArrivalsForTask picks the arrival process matching a task archetype:
+// periodic at the camera rate for real-time tasks (rate overrides the
+// task's DataRateHz when positive), Poisson at rate for interactive and
+// background tasks.
+func ArrivalsForTask(task satisfaction.Task, rate float64, seed int64) Arrivals {
+	if task.Class == satisfaction.RealTime {
+		r := task.DataRateHz
+		if rate > 0 {
+			r = rate
+		}
+		return NewPeriodicArrivals(r)
+	}
+	if rate <= 0 || math.IsInf(rate, 0) || math.IsNaN(rate) {
+		rate = 10
+	}
+	return NewOpenArrivals(rate, seed)
+}

@@ -1,0 +1,54 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"pcnn/internal/satisfaction"
+)
+
+func TestPeriodicArrivals(t *testing.T) {
+	p := NewPeriodicArrivals(60)
+	want := time.Second / 60
+	for i := 0; i < 5; i++ {
+		if got := p.Next(); got != want {
+			t.Fatalf("gap %d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestOpenArrivalsMeanRate(t *testing.T) {
+	const rate = 200.0
+	o := NewOpenArrivals(rate, 7)
+	var total time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		g := o.Next()
+		if g < 0 {
+			t.Fatalf("negative gap %v", g)
+		}
+		total += g
+	}
+	mean := total.Seconds() / n
+	if math.Abs(mean-1/rate) > 0.1/rate {
+		t.Fatalf("mean gap %.6fs, want ≈%.6fs", mean, 1/rate)
+	}
+}
+
+func TestArrivalsForTask(t *testing.T) {
+	if _, ok := ArrivalsForTask(satisfaction.VideoSurveillance(30), 0, 1).(*PeriodicArrivals); !ok {
+		t.Error("surveillance should arrive periodically")
+	}
+	if _, ok := ArrivalsForTask(satisfaction.AgeDetection(), 50, 1).(*OpenArrivals); !ok {
+		t.Error("interactive should arrive Poisson")
+	}
+	if _, ok := ArrivalsForTask(satisfaction.ImageTagging(), 50, 1).(*OpenArrivals); !ok {
+		t.Error("background should arrive Poisson")
+	}
+	// A rate override retargets the camera.
+	p := ArrivalsForTask(satisfaction.VideoSurveillance(30), 120, 1).(*PeriodicArrivals)
+	if want := time.Second / 120; p.Next() != want {
+		t.Errorf("overridden camera period %v, want %v", p.Next(), want)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"pcnn/internal/nn"
 	"pcnn/internal/satisfaction"
 	"pcnn/internal/sched"
+	"pcnn/internal/serve"
 )
 
 // Re-exported types. Aliases keep the internal packages private while
@@ -61,6 +62,27 @@ type (
 	Scenario = sched.Scenario
 	// TuningPoint is one transferred accuracy-tuning level.
 	TuningPoint = sched.TuningPoint
+	// Server is the online inference server (Framework.Serve).
+	Server = serve.Server
+	// ServeConfig tunes the online server's batching, worker pool and
+	// degradation policy.
+	ServeConfig = serve.Config
+	// ServeResult is one served request's outcome (latency breakdown,
+	// energy, entropy, SoC, deadline verdict).
+	ServeResult = serve.Result
+	// ServeSnapshot is a point-in-time summary of the serving metrics
+	// (percentile latency, miss rate, mean SoC, degradation counters).
+	ServeSnapshot = serve.Snapshot
+	// Future resolves to a ServeResult once the request's batch executed.
+	Future = serve.Future
+)
+
+// Serving sentinel errors, re-exported for errors.Is.
+var (
+	// ErrServerClosed is returned by Server.Submit after Close.
+	ErrServerClosed = serve.ErrServerClosed
+	// ErrQueueFull is returned when admission control rejects a request.
+	ErrQueueFull = serve.ErrQueueFull
 )
 
 // Task classes.
@@ -105,6 +127,9 @@ func InferTask(name string, userFacing bool, frameRateHz float64) Task {
 // New creates a P-CNN framework for the named network on a device for a
 // task.
 func New(netName string, dev *Device, task Task) (*Framework, error) {
+	if NetworkByName(netName) == nil {
+		return nil, &UnknownNetworkError{Name: netName}
+	}
 	return core.New(netName, dev, task)
 }
 
@@ -166,4 +191,14 @@ type UnknownPlatformError struct{ Name string }
 // Error implements error.
 func (e *UnknownPlatformError) Error() string {
 	return "pcnn: unknown platform " + e.Name + " (want K20c, TitanX, GTX970m or TX1)"
+}
+
+// UnknownNetworkError reports an unrecognized network name, so Deploy and
+// New failures are distinguishable from UnknownPlatformError with
+// errors.As.
+type UnknownNetworkError struct{ Name string }
+
+// Error implements error.
+func (e *UnknownNetworkError) Error() string {
+	return "pcnn: unknown network " + e.Name + " (want AlexNet, VGGNet or GoogLeNet)"
 }

@@ -1,6 +1,11 @@
 package pcnn
 
-import "testing"
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
 
 func TestPlatformsAndNetworks(t *testing.T) {
 	if got := len(Platforms()); got != 4 {
@@ -72,5 +77,67 @@ func TestDeployEndToEnd(t *testing.T) {
 	}
 	if out.SoC <= 0 {
 		t.Fatalf("deployed P-CNN SoC = %v", out.SoC)
+	}
+}
+
+// TestUnknownErrorsDistinguishable: the two typed Deploy failures must be
+// separable with errors.As, and neither must match the other's type.
+func TestUnknownErrorsDistinguishable(t *testing.T) {
+	_, err := Deploy("LeNet", "TX1", AgeDetection())
+	if err == nil {
+		t.Fatal("unknown network accepted")
+	}
+	var netErr *UnknownNetworkError
+	var platErr *UnknownPlatformError
+	if !errors.As(err, &netErr) {
+		t.Fatalf("error %T (%v) is not *UnknownNetworkError", err, err)
+	}
+	if netErr.Name != "LeNet" {
+		t.Errorf("Name = %q, want LeNet", netErr.Name)
+	}
+	if errors.As(err, &platErr) {
+		t.Errorf("network error also matches *UnknownPlatformError")
+	}
+
+	_, err = Deploy("AlexNet", "GTX480", AgeDetection())
+	if !errors.As(err, &platErr) {
+		t.Fatalf("error %T (%v) is not *UnknownPlatformError", err, err)
+	}
+	if errors.As(err, &netErr) {
+		t.Errorf("platform error also matches *UnknownNetworkError")
+	}
+}
+
+// TestServeFacade drives the re-exported serving API end to end on a
+// compiled (untrained) deployment.
+func TestServeFacade(t *testing.T) {
+	fw, err := New("AlexNet", PlatformByName("K20c"), ImageTagging())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := fw.Serve(ServeConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for i := 0; i < 8; i++ {
+		f, err := srv.Submit()
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if _, err := f.Wait(ctx); err != nil {
+			t.Fatalf("wait %d: %v", i, err)
+		}
+	}
+	snap := srv.Stats()
+	if err := srv.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if snap.Completed != 8 || snap.MeanSoC <= 0 {
+		t.Fatalf("serving snapshot degenerate: %+v", snap)
+	}
+	if _, err := srv.Submit(); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrServerClosed", err)
 	}
 }
