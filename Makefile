@@ -20,7 +20,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/tensor/ ./internal/nn/ ./internal/serve/
+	$(GO) test -race ./internal/tensor/ ./internal/nn/ ./internal/serve/ ./internal/obs/
 
 # bench reproduces the numbers recorded in BENCH_gemm.json.
 bench:

@@ -7,7 +7,10 @@
 //
 //	go run ./cmd/pcnnd -net AlexNet -platform TX1 -task surveillance -addr :8080
 //	    HTTP daemon: POST /infer serves one request, GET /stats reports
-//	    the serving snapshot, GET /healthz liveness.
+//	    the serving snapshot, GET /metrics exports Prometheus text
+//	    format, GET /trace returns recent request traces, GET /profile
+//	    the per-layer time/energy breakdown, GET /healthz liveness.
+//	    -debug-addr :6060 additionally serves net/http/pprof.
 //
 //	go run ./cmd/pcnnd -net AlexNet -platform TX1 -task surveillance -load closed -n 100 -smoke
 //	    built-in load generator: closed-loop (N concurrent users, think
@@ -26,7 +29,9 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,6 +50,7 @@ func main() {
 		taskName = flag.String("task", "surveillance", "task archetype: age, surveillance or tagging")
 		fps      = flag.Float64("fps", 30, "camera frame rate for -task surveillance")
 		addr     = flag.String("addr", "", "HTTP listen address (daemon mode, e.g. :8080)")
+		debug    = flag.String("debug-addr", "", "serve net/http/pprof on this address (e.g. :6060)")
 		workers  = flag.Int("workers", 2, "worker pool size")
 		batch    = flag.Int("batch", 0, "batch cap (0 = plan's compiled batch)")
 		queue    = flag.Int("queue", 0, "admission queue capacity (0 = default)")
@@ -75,6 +81,13 @@ func main() {
 		Workers:        *workers,
 		Pace:           *pace,
 		DisableDegrade: *noDeg,
+	}
+
+	if *debug != "" {
+		go func() {
+			log.Printf("pprof on %s/debug/pprof/", *debug)
+			log.Printf("pprof listener: %v", http.ListenAndServe(*debug, debugMux()))
+		}()
 	}
 
 	switch {
@@ -311,6 +324,9 @@ func runBench(fw *pcnn.Framework, cfg pcnn.ServeConfig, path string, n, conc int
 	return nil
 }
 
+// prometheusContentType is the text exposition format /metrics serves.
+const prometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
 // newHandler wires the HTTP API.
 func newHandler(srv *pcnn.Server) http.Handler {
 	mux := http.NewServeMux()
@@ -319,6 +335,34 @@ func newHandler(srv *pcnn.Server) http.Handler {
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
 		emit(w, srv.Stats())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", prometheusContentType)
+		if err := srv.WriteMetrics(w); err != nil {
+			log.Printf("metrics: %v", err)
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		n := 0 // everything held
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 1 {
+				http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		emit(w, srv.Traces(n))
+	})
+	mux.HandleFunc("/profile", func(w http.ResponseWriter, _ *http.Request) {
+		prof, err := srv.LayerProfile()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotImplemented)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		emit(w, prof)
 	})
 	mux.HandleFunc("/infer", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -344,6 +388,18 @@ func newHandler(srv *pcnn.Server) http.Handler {
 		}
 		emit(w, res)
 	})
+	return mux
+}
+
+// debugMux serves the pprof endpoints on their own mux, so profiling
+// stays off the serving address entirely unless -debug-addr opts in.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pcnn"
+)
+
+// newTestServer deploys a compile-only AlexNet/TX1/tagging server and
+// drives a few requests through it so every observability surface has
+// data.
+func newTestServer(t *testing.T) (*pcnn.Server, http.Handler) {
+	t.Helper()
+	fw, err := deploy("AlexNet", "TX1", pcnn.ImageTagging(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := fw.Serve(pcnn.ServeConfig{Workers: 1, MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Close(ctx)
+	})
+	return srv, newHandler(srv)
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec
+}
+
+func TestDaemonObservabilityEndpoints(t *testing.T) {
+	srv, h := newTestServer(t)
+
+	// Serve a few requests through the HTTP path itself.
+	for i := 0; i < 6; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/infer", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("POST /infer %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+	}
+
+	// /metrics: Prometheus text format carrying the acceptance metrics.
+	rec := get(t, h, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != prometheusContentType {
+		t.Errorf("/metrics Content-Type = %q, want %q", ct, prometheusContentType)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"pcnn_serve_queue_depth",
+		`pcnn_serve_requests_total{outcome="completed"} 6`,
+		`pcnn_serve_response_ms_bucket{level=`,
+		"pcnn_serve_escalations_total",
+		"pcnn_serve_calibrations_total",
+		"pcnn_serve_throughput_rps",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// /trace: recent traces with the full stage lifecycle.
+	rec = get(t, h, "/trace?n=3")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/trace status %d: %s", rec.Code, rec.Body.String())
+	}
+	var traces []struct {
+		ID     uint64 `json:"id"`
+		Stages []struct {
+			Name string `json:"name"`
+		} `json:"stages"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &traces); err != nil {
+		t.Fatalf("/trace decode: %v", err)
+	}
+	if len(traces) != 3 {
+		t.Fatalf("/trace?n=3 returned %d traces", len(traces))
+	}
+	if got := len(traces[0].Stages); got != 5 {
+		t.Errorf("trace has %d stages, want 5 (submit..resolve)", got)
+	}
+	if rec := get(t, h, "/trace?n=bogus"); rec.Code != http.StatusBadRequest {
+		t.Errorf("/trace?n=bogus status %d, want 400", rec.Code)
+	}
+
+	// /profile: one entry per plan layer, all live.
+	rec = get(t, h, "/profile")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/profile status %d: %s", rec.Code, rec.Body.String())
+	}
+	var prof []struct {
+		Name        string  `json:"name"`
+		PredictedMS float64 `json:"predicted_ms"`
+		TimeMS      float64 `json:"time_ms"`
+		EnergyJ     float64 `json:"energy_j"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &prof); err != nil {
+		t.Fatalf("/profile decode: %v", err)
+	}
+	if len(prof) == 0 {
+		t.Fatal("/profile returned no layers")
+	}
+	for _, lp := range prof {
+		if lp.Name == "" || lp.TimeMS <= 0 || lp.EnergyJ <= 0 || lp.PredictedMS <= 0 {
+			t.Errorf("degenerate profile entry: %+v", lp)
+		}
+	}
+
+	// /stats still reports the JSON snapshot, now with the new fields.
+	rec = get(t, h, "/stats")
+	var snap pcnn.ServeSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("/stats decode: %v", err)
+	}
+	if snap.Completed != 6 {
+		t.Errorf("/stats completed = %d, want 6", snap.Completed)
+	}
+	if snap.LifetimeRPS <= 0 {
+		t.Errorf("/stats lifetime_rps = %v, want > 0", snap.LifetimeRPS)
+	}
+
+	_ = srv
+}
+
+func TestDebugMuxServesPprof(t *testing.T) {
+	mux := debugMux()
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Error("pprof index missing profile listing")
+	}
+}

@@ -1,0 +1,59 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRunObserved: the observer sees every launch in order, and the
+// observed slices sum to the aggregate — the invariant the per-layer
+// profiling layer builds on.
+func TestRunObserved(t *testing.T) {
+	d := testDevice()
+	launches := []Launch{
+		{Kernel: computeKernel(4), Config: DefaultLaunch()},
+		{Kernel: computeKernel(8), Config: DefaultLaunch()},
+		{Kernel: computeKernel(2), Config: DefaultLaunch()},
+	}
+	var idxs []int
+	var timeSum, energySum float64
+	results, agg, err := d.RunObserved(launches, func(i int, r Result) {
+		idxs = append(idxs, i)
+		timeSum += r.TimeMS
+		energySum += r.EnergyJ
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(launches) {
+		t.Fatalf("results = %d, want %d", len(results), len(launches))
+	}
+	for i, got := range idxs {
+		if got != i {
+			t.Fatalf("observer order %v, want 0..%d in sequence", idxs, len(launches)-1)
+		}
+	}
+	if math.Abs(timeSum-agg.TimeMS) > 1e-9 {
+		t.Errorf("observed time %v != aggregate %v", timeSum, agg.TimeMS)
+	}
+	if math.Abs(energySum-agg.EnergyJ) > 1e-9 {
+		t.Errorf("observed energy %v != aggregate %v", energySum, agg.EnergyJ)
+	}
+}
+
+// TestRunObservedNil: Run and RunObserved(nil) are the same path.
+func TestRunObservedNil(t *testing.T) {
+	d := testDevice()
+	launches := []Launch{{Kernel: computeKernel(4), Config: DefaultLaunch()}}
+	_, a1, err := d.Run(launches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, a2, err := d.RunObserved(launches, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Fatalf("Run %+v != RunObserved(nil) %+v", a1, a2)
+	}
+}

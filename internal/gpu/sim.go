@@ -303,9 +303,21 @@ func (d *Device) Simulate(k Kernel, cfg LaunchConfig) (Result, error) {
 // Run simulates a sequence of launches back to back (e.g. the layers of a
 // network) and returns per-launch results plus the aggregate.
 func (d *Device) Run(launches []Launch) ([]Result, Aggregate, error) {
+	return d.RunObserved(launches, nil)
+}
+
+// RunObserver receives each launch's result as RunObserved retires it, in
+// launch order. It is the profiling hook: a plan execution streams its
+// per-layer time/energy breakdown through the observer without a second
+// simulation pass.
+type RunObserver func(index int, r Result)
+
+// RunObserved is Run with an optional per-launch observer (nil is
+// allowed and equivalent to Run).
+func (d *Device) RunObserved(launches []Launch, observe RunObserver) ([]Result, Aggregate, error) {
 	results := make([]Result, 0, len(launches))
 	var agg Aggregate
-	for _, l := range launches {
+	for i, l := range launches {
 		r, err := d.Simulate(l.Kernel, l.Config)
 		if err != nil {
 			return nil, Aggregate{}, err
@@ -313,6 +325,9 @@ func (d *Device) Run(launches []Launch) ([]Result, Aggregate, error) {
 		results = append(results, r)
 		agg.TimeMS += r.TimeMS
 		agg.EnergyJ += r.EnergyJ
+		if observe != nil {
+			observe(i, r)
+		}
 	}
 	if agg.TimeMS > 0 {
 		agg.AvgPowerW = agg.EnergyJ / (agg.TimeMS * 1e-3)

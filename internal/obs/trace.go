@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Stage is one step of a request's lifecycle. AtMS is the offset from the
+// trace's start at which the stage *completed*; DurMS is how long the
+// stage took (the gap since the previous mark).
+type Stage struct {
+	Name  string  `json:"name"`
+	AtMS  float64 `json:"at_ms"`
+	DurMS float64 `json:"dur_ms"`
+}
+
+// Trace records one request's submit → coalesce → escalate → execute →
+// resolve lifecycle. A trace is built by exactly one goroutine at a time
+// (ownership passes along the pipeline with the request, and channel
+// hand-offs order the marks), so Mark takes no lock.
+type Trace struct {
+	ID      uint64    `json:"id"`
+	Start   time.Time `json:"start"`
+	Batch   int       `json:"batch,omitempty"`
+	Level   int       `json:"level,omitempty"`
+	Demoted bool      `json:"demoted,omitempty"`
+	Err     string    `json:"err,omitempty"`
+	Stages  []Stage   `json:"stages"`
+
+	last time.Time
+}
+
+// NewTrace starts a trace now.
+func NewTrace(id uint64) *Trace {
+	now := time.Now()
+	return &Trace{ID: id, Start: now, last: now}
+}
+
+// Mark closes the current stage: it appends a Stage whose duration is the
+// time since the previous mark (or since Start for the first).
+func (t *Trace) Mark(name string) {
+	now := time.Now()
+	t.Stages = append(t.Stages, Stage{
+		Name:  name,
+		AtMS:  durMS(now.Sub(t.Start)),
+		DurMS: durMS(now.Sub(t.last)),
+	})
+	t.last = now
+}
+
+// TotalMS is the span from Start to the last mark.
+func (t *Trace) TotalMS() float64 { return durMS(t.last.Sub(t.Start)) }
+
+func durMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// TraceRing is a bounded in-memory ring of recent traces: adding past the
+// capacity overwrites the oldest entry. Safe for concurrent use.
+type TraceRing struct {
+	mu   sync.Mutex
+	buf  []Trace
+	next int
+	full bool
+}
+
+// NewTraceRing holds the most recent n traces (n < 1 is clamped to 1).
+func NewTraceRing(n int) *TraceRing {
+	if n < 1 {
+		n = 1
+	}
+	return &TraceRing{buf: make([]Trace, n)}
+}
+
+// Add stores a copy of the finished trace.
+func (r *TraceRing) Add(t *Trace) {
+	r.mu.Lock()
+	r.buf[r.next] = *t
+	r.next++
+	if r.next == len(r.buf) {
+		r.next, r.full = 0, true
+	}
+	r.mu.Unlock()
+}
+
+// Len reports how many traces are held (≤ capacity).
+func (r *TraceRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Recent returns the held traces, newest first.
+func (r *TraceRing) Recent() []Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	out := make([]Trace, 0, n)
+	for i := 0; i < n; i++ {
+		idx := r.next - 1 - i
+		if idx < 0 {
+			idx += len(r.buf)
+		}
+		out = append(out, r.buf[idx])
+	}
+	return out
+}
+
+// Event is one recorded decision — a scheduler choosing a batch, the
+// runtime manager calibrating a level — with free-form fields.
+type Event struct {
+	Time   time.Time      `json:"time"`
+	Name   string         `json:"name"`
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// EventLog is a bounded ring of decision events. A nil *EventLog is
+// inert: Record is a no-op and Recent returns nil, so decision sites can
+// record unconditionally.
+type EventLog struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int
+	full bool
+}
+
+// NewEventLog holds the most recent n events (n < 1 is clamped to 1).
+func NewEventLog(n int) *EventLog {
+	if n < 1 {
+		n = 1
+	}
+	return &EventLog{buf: make([]Event, n)}
+}
+
+// Record appends one event, overwriting the oldest past capacity.
+func (l *EventLog) Record(name string, fields map[string]any) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.buf[l.next] = Event{Time: time.Now(), Name: name, Fields: fields}
+	l.next++
+	if l.next == len(l.buf) {
+		l.next, l.full = 0, true
+	}
+	l.mu.Unlock()
+}
+
+// Len reports how many events are held (≤ capacity).
+func (l *EventLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.full {
+		return len(l.buf)
+	}
+	return l.next
+}
+
+// Recent returns the held events, newest first.
+func (l *EventLog) Recent() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.next
+	if l.full {
+		n = len(l.buf)
+	}
+	out := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		idx := l.next - 1 - i
+		if idx < 0 {
+			idx += len(l.buf)
+		}
+		out = append(out, l.buf[idx])
+	}
+	return out
+}

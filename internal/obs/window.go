@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// RateWindow estimates an event rate over a sliding window of one-second
+// buckets, so idle periods age out instead of permanently depressing the
+// reported rate the way a lifetime count ÷ uptime does. Safe for
+// concurrent use.
+type RateWindow struct {
+	mu      sync.Mutex
+	now     func() time.Time
+	buckets []uint64
+	head    int   // index of the bucket holding headSec's events
+	headSec int64 // unix second the head bucket covers
+	total   uint64
+	start   time.Time
+}
+
+// NewRateWindow tracks events over the last `seconds` seconds (< 1 is
+// clamped to 1). now may be nil, defaulting to time.Now; tests inject a
+// fake clock.
+func NewRateWindow(seconds int, now func() time.Time) *RateWindow {
+	if seconds < 1 {
+		seconds = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	t := now()
+	return &RateWindow{
+		now:     now,
+		buckets: make([]uint64, seconds),
+		headSec: t.Unix(),
+		start:   t,
+	}
+}
+
+// advance rotates the ring forward to cover the given unix second,
+// zeroing buckets that fell out of the window. Callers hold mu.
+func (w *RateWindow) advance(sec int64) {
+	steps := sec - w.headSec
+	if steps <= 0 {
+		return
+	}
+	if steps > int64(len(w.buckets)) {
+		steps = int64(len(w.buckets))
+	}
+	for i := int64(0); i < steps; i++ {
+		w.head = (w.head + 1) % len(w.buckets)
+		w.buckets[w.head] = 0
+	}
+	w.headSec = sec
+}
+
+// Add records n events at the current time.
+func (w *RateWindow) Add(n uint64) {
+	w.mu.Lock()
+	w.advance(w.now().Unix())
+	w.buckets[w.head] += n
+	w.total += n
+	w.mu.Unlock()
+}
+
+// Rate returns events per second over the window. Before a full window
+// has elapsed since construction, the divisor is the elapsed time (with a
+// one-second floor), so early rates are not diluted by empty future
+// buckets.
+func (w *RateWindow) Rate() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	now := w.now()
+	w.advance(now.Unix())
+	var sum uint64
+	for _, b := range w.buckets {
+		sum += b
+	}
+	span := float64(len(w.buckets))
+	if elapsed := now.Sub(w.start).Seconds(); elapsed < span {
+		span = elapsed
+	}
+	if span < 1 {
+		span = 1
+	}
+	return float64(sum) / span
+}
+
+// Total returns the lifetime event count.
+func (w *RateWindow) Total() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.total
+}

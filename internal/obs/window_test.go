@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock steps a RateWindow deterministically.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_000_000, 0)}
+}
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// TestRateWindowSteadyState: 10 events/s for 10s through a 10s window
+// reads back as 10/s.
+func TestRateWindowSteadyState(t *testing.T) {
+	clk := newFakeClock()
+	w := NewRateWindow(10, clk.now)
+	for s := 0; s < 10; s++ {
+		w.Add(10)
+		clk.advance(time.Second)
+	}
+	if got := w.Rate(); got < 9 || got > 11 {
+		t.Fatalf("steady rate = %v, want ≈10", got)
+	}
+	if w.Total() != 100 {
+		t.Fatalf("total = %d, want 100", w.Total())
+	}
+}
+
+// TestRateWindowIdleGap is the ISSUE's regression: an idle period must
+// not permanently depress the windowed rate. After a 100s gap and a
+// second identical burst, the windowed rate matches the burst rate while
+// the naive lifetime rate (total ÷ uptime) has collapsed.
+func TestRateWindowIdleGap(t *testing.T) {
+	clk := newFakeClock()
+	start := clk.t
+	w := NewRateWindow(10, clk.now)
+
+	burst := func() {
+		for s := 0; s < 10; s++ {
+			w.Add(10)
+			clk.advance(time.Second)
+		}
+	}
+	burst()
+	before := w.Rate()
+
+	clk.advance(100 * time.Second) // idle gap
+	burst()
+	after := w.Rate()
+
+	if before < 9 || before > 11 {
+		t.Fatalf("pre-gap rate = %v, want ≈10", before)
+	}
+	if after < 9 || after > 11 {
+		t.Fatalf("post-gap rate = %v, want ≈10 (idle gap depressed the window)", after)
+	}
+	if after < before/2 {
+		t.Fatalf("idle gap halved the windowed rate: before %v, after %v", before, after)
+	}
+	lifetime := float64(w.Total()) / clk.t.Sub(start).Seconds()
+	if lifetime >= after/2 {
+		t.Fatalf("lifetime rate %v not depressed vs windowed %v; gap regression scenario broken", lifetime, after)
+	}
+}
+
+// TestRateWindowGapBeyondWindow: a gap longer than the window empties it.
+func TestRateWindowGapBeyondWindow(t *testing.T) {
+	clk := newFakeClock()
+	w := NewRateWindow(5, clk.now)
+	w.Add(100)
+	clk.advance(60 * time.Second)
+	if got := w.Rate(); got != 0 {
+		t.Fatalf("rate after long gap = %v, want 0", got)
+	}
+}

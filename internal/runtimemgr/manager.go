@@ -5,6 +5,7 @@ import (
 
 	"pcnn/internal/entropy"
 	"pcnn/internal/nn"
+	"pcnn/internal/obs"
 	"pcnn/internal/tensor"
 )
 
@@ -24,6 +25,9 @@ type Manager struct {
 	confidentStreak int
 	// RecoverAfter disables level recovery when 0.
 	RecoverAfter int
+	// Events, when non-nil, receives one record per calibration backtrack
+	// and per recovery re-advance. A nil log records nothing.
+	Events *obs.EventLog
 
 	calibrations int
 }
@@ -79,12 +83,20 @@ func (m *Manager) Infer(x *tensor.Tensor) ([][]float32, float64) {
 		m.calibrations++
 		m.confidentStreak = 0
 		m.applyLevel()
+		m.Events.Record("runtimemgr.calibrate", map[string]any{
+			"level":   m.level,
+			"entropy": h,
+		})
 	case m.RecoverAfter > 0 && h <= m.threshold*0.8 && m.level < len(m.table.Entries)-1:
 		m.confidentStreak++
 		if m.confidentStreak >= m.RecoverAfter {
 			m.level++
 			m.confidentStreak = 0
 			m.applyLevel()
+			m.Events.Record("runtimemgr.recover", map[string]any{
+				"level":   m.level,
+				"entropy": h,
+			})
 		}
 	default:
 		m.confidentStreak = 0

@@ -12,6 +12,54 @@ func msSince(t time.Time) float64 {
 	return float64(time.Since(t)) / float64(time.Millisecond)
 }
 
+// flushTimer wraps one reusable time.Timer for the batcher's flush
+// deadline. The previous implementation allocated a fresh time.NewTimer
+// on every submitted request — per-request timer churn on the hot
+// admission path; this one Stops, drains and Resets a single timer. C is
+// non-nil only while armed; after receiving from C the owner must call
+// fired before the next arm.
+type flushTimer struct {
+	t *time.Timer
+	C <-chan time.Time
+}
+
+// arm schedules the timer to fire after d (negative d clamps to 0).
+func (ft *flushTimer) arm(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	if ft.t == nil {
+		ft.t = time.NewTimer(d)
+	} else {
+		ft.stopDrain()
+		ft.t.Reset(d)
+	}
+	ft.C = ft.t.C
+}
+
+// disarm stops the timer; C goes nil so a pending select never fires.
+func (ft *flushTimer) disarm() {
+	if ft.t != nil {
+		ft.stopDrain()
+	}
+	ft.C = nil
+}
+
+// fired acknowledges a receive from C: the channel is already drained, so
+// the next arm must not try to drain it again via a blocked Stop.
+func (ft *flushTimer) fired() { ft.C = nil }
+
+// stopDrain is the correct stop/drain sequence for a timer that may have
+// fired but not been received from.
+func (ft *flushTimer) stopDrain() {
+	if !ft.t.Stop() {
+		select {
+		case <-ft.t.C:
+		default:
+		}
+	}
+}
+
 // batcher is the coalescing loop: it accumulates requests until the batch
 // is full or the oldest request's slack (deadline − Eq 12 prediction) runs
 // out, then hands the batch to the worker pool. Backpressure is natural:
@@ -22,29 +70,13 @@ func (s *Server) batcher() {
 	defer close(s.flushCh)
 
 	var pending []*request
-	var timer *time.Timer
-	var timerC <-chan time.Time
-	disarm := func() {
-		if timer != nil {
-			timer.Stop()
-			timer = nil
-		}
-		timerC = nil
-	}
-	arm := func(d time.Duration) {
-		disarm()
-		if d < 0 {
-			d = 0
-		}
-		timer = time.NewTimer(d)
-		timerC = timer.C
-	}
+	var ft flushTimer
 
 	for {
 		select {
 		case r, ok := <-s.submitCh:
 			if !ok {
-				disarm()
+				ft.disarm()
 				if len(pending) > 0 {
 					s.flush(pending)
 				}
@@ -52,14 +84,14 @@ func (s *Server) batcher() {
 			}
 			pending = append(pending, r)
 			if len(pending) >= s.cfg.MaxBatch {
-				disarm()
+				ft.disarm()
 				s.flush(pending)
 				pending = nil
 				continue
 			}
-			arm(s.flushDelay(pending))
-		case <-timerC:
-			timerC, timer = nil, nil
+			ft.arm(s.flushDelay(pending))
+		case <-ft.C:
+			ft.fired()
 			if len(pending) > 0 {
 				s.flush(pending)
 				pending = nil
@@ -97,11 +129,17 @@ func (s *Server) queuePredictMS(level, n int) float64 {
 func (s *Server) flush(reqs []*request) {
 	oldest := reqs[0]
 	n := len(reqs)
+	for _, r := range reqs {
+		r.tr.Mark("coalesce")
+	}
 	level := s.ctrl.Level()
 	if !s.cfg.DisableDegrade {
 		level = s.ctrl.escalate(func(l int) bool {
 			return s.task.SlackMS(msSince(oldest.at), s.queuePredictMS(l, n)) >= 0
 		})
+	}
+	for _, r := range reqs {
+		r.tr.Mark("escalate")
 	}
 	s.inflight.Add(1)
 	s.flushCh <- &batchJob{reqs: reqs, level: level}
@@ -115,24 +153,38 @@ func (s *Server) worker() {
 	}
 }
 
-// gatherInputs assembles the batch input tensor when every request carries
-// a sample; nil otherwise (simulation-only requests).
-func gatherInputs(reqs []*request) *tensor.Tensor {
+// gatherInputs assembles the batch input tensor when every request
+// carries a sample. It returns (nil, false) when no request carries one
+// (a deliberate simulation-only batch), and (nil, true) — a *demotion* —
+// when samples were present but unusable: some requests missing theirs,
+// or heterogeneous shapes that cannot stack into one N×C×H×W tensor.
+// Demotions silently discard the operator's classification work, so the
+// caller counts and surfaces them.
+func gatherInputs(reqs []*request) (batch *tensor.Tensor, demoted bool) {
+	withInput := 0
 	for _, r := range reqs {
-		if r.input == nil {
-			return nil
+		if r.input != nil {
+			withInput++
 		}
+	}
+	if withInput == 0 {
+		return nil, false
+	}
+	if withInput < len(reqs) {
+		return nil, true // mixed nil/sample batch cannot classify everyone
 	}
 	shape := reqs[0].input.Shape()
 	per := reqs[0].input.Len()
-	batch := tensor.New(append([]int{len(reqs)}, shape...)...)
-	for i, r := range reqs {
+	for _, r := range reqs {
 		if r.input.Len() != per {
-			return nil // heterogeneous samples; fall back to simulation-only
+			return nil, true // heterogeneous sample shapes
 		}
+	}
+	batch = tensor.New(append([]int{len(reqs)}, shape...)...)
+	for i, r := range reqs {
 		copy(batch.Data[i*per:(i+1)*per], r.input.Data)
 	}
-	return batch
+	return batch, false
 }
 
 // runBatch executes one batch, resolves its futures, and feeds the
@@ -140,16 +192,22 @@ func gatherInputs(reqs []*request) *tensor.Tensor {
 func (s *Server) runBatch(job *batchJob) {
 	n := len(job.reqs)
 	start := time.Now()
-	res, err := s.ex.Execute(job.level, n, gatherInputs(job.reqs))
+	inputs, demoted := gatherInputs(job.reqs)
+	if demoted {
+		s.st.demotedInc()
+	}
+	res, err := s.ex.Execute(job.level, n, inputs)
 	if s.cfg.Pace > 0 && err == nil {
 		time.Sleep(time.Duration(res.TimeMS * s.cfg.Pace * float64(time.Millisecond)))
 	}
 	s.inflight.Add(-1)
 	s.queueDepth.Add(int64(-n))
+	s.met.observeBatch(job.level, n)
 	if err != nil {
 		s.st.failBatch(n)
 		for _, r := range job.reqs {
 			r.fut.ch <- outcome{err: err}
+			s.finishTrace(r, n, job.level, demoted, err)
 		}
 		return
 	}
@@ -180,12 +238,31 @@ func (s *Server) runBatch(job *batchJob) {
 		if res.Probs != nil && i < len(res.Probs) {
 			out.Probs = res.Probs[i]
 		}
+		r.tr.Mark("execute")
 		s.st.record(out)
+		s.met.observeResponse(job.level, responseMS)
 		r.fut.ch <- outcome{res: out}
+		s.finishTrace(r, n, job.level, demoted, nil)
 	}
 
 	deadline := s.task.Deadline()
 	comfortable := !math.IsInf(deadline, 1) && oldestResponseMS <= 0.5*deadline
 	s.ctrl.observe(res.Entropy > s.task.EntropyThreshold, comfortable)
 	s.st.batchDone(n)
+}
+
+// finishTrace closes a request's trace (resolve stage), folds its stage
+// durations into the stage histograms, and parks it in the ring.
+func (s *Server) finishTrace(r *request, batch, level int, demoted bool, err error) {
+	tr := r.tr
+	if len(tr.Stages) > 0 && tr.Stages[len(tr.Stages)-1].Name != "execute" {
+		tr.Mark("execute") // failed batches still close the execute stage
+	}
+	tr.Mark("resolve")
+	tr.Batch, tr.Level, tr.Demoted = batch, level, demoted
+	if err != nil {
+		tr.Err = err.Error()
+	}
+	s.met.observeStages(tr)
+	s.traces.Add(tr)
 }

@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"pcnn/internal/satisfaction"
+	"pcnn/internal/tensor"
+)
+
+// TestFlushTimerReuse: the reused timer survives the full arm → fire →
+// re-arm and arm → disarm → re-arm cycles without a stale fire leaking
+// into the next arming.
+func TestFlushTimerReuse(t *testing.T) {
+	var ft flushTimer
+	ft.arm(time.Millisecond)
+	select {
+	case <-ft.C:
+		ft.fired()
+	case <-time.After(5 * time.Second):
+		t.Fatal("armed timer never fired")
+	}
+
+	// Re-arm after a fire; it must fire again, exactly once.
+	ft.arm(time.Millisecond)
+	select {
+	case <-ft.C:
+		ft.fired()
+	case <-time.After(5 * time.Second):
+		t.Fatal("re-armed timer never fired")
+	}
+
+	// Arm far out, disarm, then arm short: the long deadline must not fire.
+	ft.arm(time.Hour)
+	ft.disarm()
+	if ft.C != nil {
+		t.Fatal("disarmed timer still exposes a channel")
+	}
+	ft.arm(time.Millisecond)
+	select {
+	case <-ft.C:
+		ft.fired()
+	case <-time.After(5 * time.Second):
+		t.Fatal("timer armed after disarm never fired")
+	}
+
+	// Let it fire unobserved, then re-arm: the drain path must clear the
+	// stale tick so the next receive is the new deadline's.
+	ft.arm(time.Millisecond)
+	time.Sleep(20 * time.Millisecond)
+	ft.arm(time.Hour)
+	select {
+	case <-ft.C:
+		t.Fatal("stale fire leaked through re-arm")
+	case <-time.After(50 * time.Millisecond):
+	}
+	ft.disarm()
+}
+
+// TestGatherInputs covers all three outcomes: a clean stack, a deliberate
+// simulation-only batch, and the two demotion shapes.
+func TestGatherInputs(t *testing.T) {
+	mk := func(shape ...int) *request {
+		in := tensor.New(shape...)
+		for i := range in.Data {
+			in.Data[i] = float32(i + 1)
+		}
+		return &request{input: in}
+	}
+
+	if b, demoted := gatherInputs([]*request{{}, {}}); b != nil || demoted {
+		t.Errorf("all-nil batch: got (%v, %v), want (nil, false)", b, demoted)
+	}
+	if b, demoted := gatherInputs([]*request{mk(3, 4, 4), {}}); b != nil || !demoted {
+		t.Errorf("mixed nil/sample batch: got (%v, %v), want (nil, true)", b, demoted)
+	}
+	if b, demoted := gatherInputs([]*request{mk(3, 4, 4), mk(3, 5, 5)}); b != nil || !demoted {
+		t.Errorf("heterogeneous shapes: got (%v, %v), want (nil, true)", b, demoted)
+	}
+
+	r1, r2 := mk(3, 4, 4), mk(3, 4, 4)
+	b, demoted := gatherInputs([]*request{r1, r2})
+	if b == nil || demoted {
+		t.Fatalf("homogeneous batch: got (%v, %v), want stacked tensor", b, demoted)
+	}
+	if got := b.Shape(); len(got) != 4 || got[0] != 2 || got[1] != 3 || got[2] != 4 || got[3] != 4 {
+		t.Fatalf("stacked shape = %v, want [2 3 4 4]", got)
+	}
+	per := r1.input.Len()
+	if b.Data[0] != r1.input.Data[0] || b.Data[per] != r2.input.Data[0] {
+		t.Error("stacked data rows do not match the per-request samples")
+	}
+}
+
+// TestMixedShapeDemotion: a batch coalescing heterogeneous input shapes
+// must still serve (simulation-only), and the demotion must be visible in
+// the snapshot, the trace, and the exported metrics — the bugfix for
+// gatherInputs silently returning nil.
+func TestMixedShapeDemotion(t *testing.T) {
+	ex := &fakeExec{maxBatch: 2, msPerImage: []float64{1}, entropies: []float64{0.1}}
+	s, err := NewServer(ex, satisfaction.ImageTagging(), Config{MaxBatch: 2, Workers: 1, LingerMS: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	in1 := tensor.New(3, 4, 4)
+	in2 := tensor.New(3, 6, 6)
+	f1, err := s.SubmitInput(in1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := s.SubmitInput(in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := waitAll(t, []*Future{f1, f2})
+	closeServer(t, s)
+
+	for i, r := range res {
+		if r.Batch != 2 {
+			t.Fatalf("request %d batch = %d, want the two submits coalesced", i, r.Batch)
+		}
+		if r.Probs != nil {
+			t.Errorf("request %d got probs from a demoted batch", i)
+		}
+	}
+	snap := s.Stats()
+	if snap.DemotedBatches != 1 {
+		t.Fatalf("DemotedBatches = %d, want 1", snap.DemotedBatches)
+	}
+	if snap.Completed != 2 || snap.Failed != 0 {
+		t.Fatalf("demoted batch lost requests: %+v", snap)
+	}
+	traces := s.Traces(0)
+	if len(traces) != 2 {
+		t.Fatalf("traces = %d, want 2", len(traces))
+	}
+	for _, tr := range traces {
+		if !tr.Demoted {
+			t.Errorf("trace %d not flagged demoted", tr.ID)
+		}
+	}
+}
+
+// BenchmarkFlushTimerReuse vs BenchmarkTimerPerArm quantifies the arm()
+// fix: the reused timer allocates only on first arm, where the old
+// per-request time.NewTimer allocated every time.
+func BenchmarkFlushTimerReuse(b *testing.B) {
+	var ft flushTimer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ft.arm(time.Hour)
+	}
+	ft.disarm()
+}
+
+func BenchmarkTimerPerArm(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tm := time.NewTimer(time.Hour)
+		tm.Stop()
+	}
+}

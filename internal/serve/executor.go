@@ -112,9 +112,10 @@ type PlanExecutor struct {
 	scaled *nn.Sequential
 	table  *runtimemgr.Table
 
-	mu    sync.Mutex
-	plans map[int]*compile.Plan
-	aggs  map[levelBatch]gpu.Aggregate
+	mu       sync.Mutex
+	plans    map[int]*compile.Plan
+	aggs     map[levelBatch]gpu.Aggregate
+	profiles map[levelBatch][]compile.LayerProfile
 
 	// netMu serializes perforation state on the shared scaled network.
 	netMu sync.Mutex
@@ -136,12 +137,13 @@ func NewPlanExecutor(plan *compile.Plan, path []sched.TuningPoint, scaled *nn.Se
 		path = SyntheticPath(plan.Net, plan.Task, DefaultSyntheticLevels)
 	}
 	return &PlanExecutor{
-		plan:   plan,
-		path:   path,
-		scaled: scaled,
-		table:  table,
-		plans:  map[int]*compile.Plan{plan.Batch: plan},
-		aggs:   map[levelBatch]gpu.Aggregate{},
+		plan:     plan,
+		path:     path,
+		scaled:   scaled,
+		table:    table,
+		plans:    map[int]*compile.Plan{plan.Batch: plan},
+		aggs:     map[levelBatch]gpu.Aggregate{},
+		profiles: map[levelBatch][]compile.LayerProfile{},
 	}, nil
 }
 
@@ -213,6 +215,9 @@ func (e *PlanExecutor) PredictMS(level, batch int) float64 {
 }
 
 // aggFor simulates (caching) one batch at a level on the plan's device.
+// Alongside the aggregate it keeps the per-layer profile the same
+// simulation produced, so Profile answers from cache for any operating
+// point the server has actually run.
 func (e *PlanExecutor) aggFor(level, batch int) (gpu.Aggregate, error) {
 	key := levelBatch{level, batch}
 	e.mu.Lock()
@@ -226,23 +231,42 @@ func (e *PlanExecutor) aggFor(level, batch int) (gpu.Aggregate, error) {
 		return gpu.Aggregate{}, err
 	}
 	keeps := e.path[level].Keeps
+	var results []gpu.Result
 	if len(keeps) == 0 {
-		_, agg, err = p.Simulate(true)
+		results, agg, err = p.Simulate(true)
 	} else {
 		var launches []gpu.Launch
 		launches, err = p.PerforatedLaunches(keeps, true)
 		if err != nil {
 			return gpu.Aggregate{}, err
 		}
-		_, agg, err = p.Device().Run(launches)
+		results, agg, err = p.Device().Run(launches)
 	}
 	if err != nil {
 		return gpu.Aggregate{}, err
 	}
 	e.mu.Lock()
 	e.aggs[key] = agg
+	e.profiles[key] = p.ProfileResults(results, keeps)
 	e.mu.Unlock()
 	return agg, nil
+}
+
+// Profile implements the serve LayerProfiler interface: the per-layer
+// time/energy breakdown of one batch at a level, simulated on first use
+// and cached with the aggregate thereafter. The profile's PredictedMS
+// column sums exactly to PredictMS(level, batch).
+func (e *PlanExecutor) Profile(level, batch int) ([]compile.LayerProfile, error) {
+	level = e.clamp(level)
+	if batch < 1 {
+		batch = 1
+	}
+	if _, err := e.aggFor(level, batch); err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]compile.LayerProfile(nil), e.profiles[levelBatch{level, batch}]...), nil
 }
 
 // Execute implements Executor: the GPU simulator supplies the batch's time

@@ -184,6 +184,69 @@ func TestExecutorWithScaledNet(t *testing.T) {
 	}
 }
 
+// TestPlanExecutorProfile: the per-layer profile exists for any operating
+// point, its simulated columns are live, and its predicted column sums
+// exactly to the Eq 12 estimate the batcher used — the reconciliation the
+// acceptance criteria pin.
+func TestPlanExecutorProfile(t *testing.T) {
+	task := satisfaction.VideoSurveillance(60)
+	plan := compilePlan(t, "AlexNet", "TX1", task)
+	ex, err := NewPlanExecutor(plan, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, level := range []int{0, ex.Levels() - 1} {
+		prof, err := ex.Profile(level, 4)
+		if err != nil {
+			t.Fatalf("level %d: %v", level, err)
+		}
+		if len(prof) == 0 {
+			t.Fatalf("level %d: empty profile", level)
+		}
+		var predSum, timeSum float64
+		for _, lp := range prof {
+			if lp.TimeMS <= 0 || lp.EnergyJ <= 0 {
+				t.Errorf("level %d layer %s degenerate: %+v", level, lp.Name, lp)
+			}
+			predSum += lp.PredictedMS
+			timeSum += lp.TimeMS
+		}
+		want := ex.PredictMS(level, 4)
+		if diff := predSum - want; diff > 1e-9*want || diff < -1e-9*want {
+			t.Errorf("level %d: profile predicted sum %v != PredictMS %v", level, predSum, want)
+		}
+		if timeSum <= 0 {
+			t.Errorf("level %d: simulated time sum %v", level, timeSum)
+		}
+	}
+
+	// The deepest level's perforated layers must profile cheaper.
+	p0, _ := ex.Profile(0, 4)
+	pd, _ := ex.Profile(ex.Levels()-1, 4)
+	var t0, td float64
+	for i := range p0 {
+		t0 += p0[i].TimeMS
+		td += pd[i].TimeMS
+	}
+	if td >= t0 {
+		t.Errorf("deepest level profile not faster: %.3fms vs %.3fms", td, t0)
+	}
+
+	// And the server surfaces it through LayerProfile.
+	s, err := NewServer(ex, satisfaction.ImageTagging(), Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeServer(t, s)
+	prof, err := s.LayerProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof) != len(plan.Layers) {
+		t.Fatalf("server profile has %d entries for %d layers", len(prof), len(plan.Layers))
+	}
+}
+
 func layerNames(layers []nn.Perforable) []string {
 	out := make([]string, len(layers))
 	for i, l := range layers {

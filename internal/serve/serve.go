@@ -23,13 +23,19 @@ package serve
 import (
 	"context"
 	"errors"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"pcnn/internal/compile"
+	"pcnn/internal/obs"
 	"pcnn/internal/satisfaction"
 	"pcnn/internal/tensor"
 )
+
+// traceRingCap bounds the in-memory ring of finished request traces.
+const traceRingCap = 256
 
 // Sentinel errors of the serving API.
 var (
@@ -131,12 +137,15 @@ func (f *Future) Wait(ctx context.Context) (Result, error) {
 	}
 }
 
-// request is one queued unit of work.
+// request is one queued unit of work. tr travels with the request through
+// the pipeline; each stage marks it, and the worker parks it in the trace
+// ring at resolution.
 type request struct {
 	id    uint64
 	at    time.Time
 	input *tensor.Tensor // optional C×H×W sample for executable pipelines
 	fut   *Future
+	tr    *obs.Trace
 }
 
 // batchJob is one flushed batch on its way to the worker pool.
@@ -153,6 +162,10 @@ type Server struct {
 	ex   Executor
 	ctrl *controller
 	st   *stats
+
+	reg    *obs.Registry
+	met    *serveMetrics
+	traces *obs.TraceRing
 
 	mu     sync.RWMutex // guards closed and the submitCh send
 	closed bool
@@ -184,10 +197,13 @@ func NewServer(ex Executor, task satisfaction.Task, cfg Config) (*Server, error)
 		ex:          ex,
 		ctrl:        newController(ex.Levels(), baseLevel(ex, task), cfg.RecoverAfter),
 		st:          newStats(),
+		reg:         obs.NewRegistry(),
+		traces:      obs.NewTraceRing(traceRingCap),
 		submitCh:    make(chan *request, cfg.QueueCap),
 		flushCh:     make(chan *batchJob, cfg.Workers),
 		batcherDone: make(chan struct{}),
 	}
+	s.met = newMetrics(s.reg, s)
 	go s.batcher()
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -216,17 +232,22 @@ func (s *Server) Submit() (*Future, error) { return s.SubmitInput(nil) }
 // with an executable network attached. It never blocks: admission control
 // answers immediately with a future, ErrQueueFull, or ErrServerClosed.
 func (s *Server) SubmitInput(input *tensor.Tensor) (*Future, error) {
+	id := s.nextID.Add(1)
 	r := &request{
-		id:    s.nextID.Add(1),
+		id:    id,
 		at:    time.Now(),
 		input: input,
 		fut:   &Future{ch: make(chan outcome, 1)},
+		tr:    obs.NewTrace(id),
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
 		return nil, ErrServerClosed
 	}
+	// Mark before the send: the channel hand-off transfers trace
+	// ownership to the batcher, so no mark may follow it here.
+	r.tr.Mark("submit")
 	select {
 	case s.submitCh <- r:
 		s.queueDepth.Add(1)
@@ -275,3 +296,40 @@ func (s *Server) Task() satisfaction.Task { return s.task }
 
 // Level returns the current degradation level (0 = unperforated).
 func (s *Server) Level() int { return s.ctrl.Level() }
+
+// Metrics returns the server's metric registry — every serving gauge,
+// counter and histogram lives here; callers may register their own
+// process-level metrics alongside before exporting.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// WriteMetrics renders the server's metrics in Prometheus text exposition
+// format.
+func (s *Server) WriteMetrics(w io.Writer) error { return s.reg.WritePrometheus(w) }
+
+// Traces returns up to n recent finished request traces, newest first
+// (n ≤ 0 returns every held trace).
+func (s *Server) Traces(n int) []obs.Trace {
+	all := s.traces.Recent()
+	if n > 0 && n < len(all) {
+		all = all[:n]
+	}
+	return all
+}
+
+// LayerProfiler is implemented by executors that can break one batch
+// execution into a per-layer time/energy profile. PlanExecutor implements
+// it from the simulator's per-launch results.
+type LayerProfiler interface {
+	Profile(level, batch int) ([]compile.LayerProfile, error)
+}
+
+// LayerProfile returns the per-layer breakdown of executing a full batch
+// at the server's current degradation level, or an error when the
+// executor cannot profile (e.g. test fakes).
+func (s *Server) LayerProfile() ([]compile.LayerProfile, error) {
+	lp, ok := s.ex.(LayerProfiler)
+	if !ok {
+		return nil, errors.New("serve: executor does not support layer profiling")
+	}
+	return lp.Profile(s.ctrl.Level(), s.cfg.MaxBatch)
+}

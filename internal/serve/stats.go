@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"pcnn/internal/obs"
 	"pcnn/internal/satisfaction"
 )
 
@@ -13,11 +14,18 @@ import (
 // the oldest samples so percentiles track recent behaviour.
 const latSample = 16384
 
+// throughputWindowSec is the sliding window ThroughputRPS is computed
+// over. Idle periods older than this age out of the reported rate; the
+// lifetime average stays available as LifetimeRPS.
+const throughputWindowSec = 30
+
 // stats accumulates serving metrics. All methods are safe for concurrent
 // use.
 type stats struct {
 	mu        sync.Mutex
+	now       func() time.Time
 	start     time.Time
+	win       *obs.RateWindow
 	submitted uint64
 	rejected  uint64
 	completed uint64
@@ -25,6 +33,7 @@ type stats struct {
 	batches   uint64
 	batchSum  uint64
 	missed    uint64
+	demoted   uint64 // batches demoted to simulation-only by gatherInputs
 
 	energyJ    float64
 	socSum     float64
@@ -34,7 +43,17 @@ type stats struct {
 	latIdx int
 }
 
-func newStats() *stats { return &stats{start: time.Now()} }
+func newStats() *stats { return newStatsClock(time.Now) }
+
+// newStatsClock injects the clock; tests use it to exercise idle gaps
+// without sleeping.
+func newStatsClock(now func() time.Time) *stats {
+	return &stats{
+		now:   now,
+		start: now(),
+		win:   obs.NewRateWindow(throughputWindowSec, now),
+	}
+}
 
 func (s *stats) submittedInc() {
 	s.mu.Lock()
@@ -48,11 +67,20 @@ func (s *stats) rejectedInc() {
 	s.mu.Unlock()
 }
 
+// demotedInc counts one batch silently demoted to simulation-only
+// classification (heterogeneous or partially missing input samples).
+func (s *stats) demotedInc() {
+	s.mu.Lock()
+	s.demoted++
+	s.mu.Unlock()
+}
+
 // record folds one completed request's result in.
 func (s *stats) record(r Result) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.completed++
+	s.win.Add(1)
 	if !r.DeadlineMet {
 		s.missed++
 	}
@@ -82,19 +110,56 @@ func (s *stats) failBatch(n int) {
 	s.mu.Unlock()
 }
 
+// windowedRPS is the completion rate over the last throughputWindowSec
+// seconds.
+func (s *stats) windowedRPS() float64 { return s.win.Rate() }
+
+// lifetimeRPS is completions ÷ uptime, the value ThroughputRPS used to
+// (incorrectly) report.
+func (s *stats) lifetimeRPS() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lifetimeRPSLocked()
+}
+
+func (s *stats) lifetimeRPSLocked() float64 {
+	if s.completed == 0 {
+		return 0
+	}
+	elapsed := s.now().Sub(s.start).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(s.completed) / elapsed
+}
+
+// counterFn returns an export-time reader of one tallied value, for the
+// registry's CounterFunc bridge.
+func (s *stats) counterFn(read func(*stats) uint64) func() float64 {
+	return func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(read(s))
+	}
+}
+
 // Snapshot is a point-in-time view of a server's serving metrics.
 type Snapshot struct {
 	Task  string `json:"task"`
 	Class string `json:"class"`
 
-	Submitted uint64 `json:"submitted"`
-	Rejected  uint64 `json:"rejected"`
-	Completed uint64 `json:"completed"`
-	Failed    uint64 `json:"failed"`
-	Batches   uint64 `json:"batches"`
+	Submitted      uint64 `json:"submitted"`
+	Rejected       uint64 `json:"rejected"`
+	Completed      uint64 `json:"completed"`
+	Failed         uint64 `json:"failed"`
+	Batches        uint64 `json:"batches"`
+	DemotedBatches uint64 `json:"demoted_batches"`
 
-	MeanBatch     float64 `json:"mean_batch"`
+	MeanBatch float64 `json:"mean_batch"`
+	// ThroughputRPS is the completion rate over the last
+	// throughputWindowSec seconds; LifetimeRPS is completions ÷ uptime.
 	ThroughputRPS float64 `json:"throughput_rps"`
+	LifetimeRPS   float64 `json:"lifetime_rps"`
 
 	P50MS float64 `json:"p50_ms"`
 	P95MS float64 `json:"p95_ms"`
@@ -117,27 +182,26 @@ func (s *stats) snapshot(task satisfaction.Task, level, queueDepth int, esc, cal
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	snap := Snapshot{
-		Task:         task.Name,
-		Class:        task.Class.String(),
-		Submitted:    s.submitted,
-		Rejected:     s.rejected,
-		Completed:    s.completed,
-		Failed:       s.failed,
-		Batches:      s.batches,
-		Level:        level,
-		QueueDepth:   queueDepth,
-		Escalations:  esc,
-		Calibrations: cal,
-		Recoveries:   rec,
+		Task:           task.Name,
+		Class:          task.Class.String(),
+		Submitted:      s.submitted,
+		Rejected:       s.rejected,
+		Completed:      s.completed,
+		Failed:         s.failed,
+		Batches:        s.batches,
+		DemotedBatches: s.demoted,
+		Level:          level,
+		QueueDepth:     queueDepth,
+		Escalations:    esc,
+		Calibrations:   cal,
+		Recoveries:     rec,
 	}
 	if s.batches > 0 {
 		snap.MeanBatch = float64(s.batchSum) / float64(s.batches)
 	}
 	if s.completed > 0 {
-		elapsed := time.Since(s.start).Seconds()
-		if elapsed > 0 {
-			snap.ThroughputRPS = float64(s.completed) / elapsed
-		}
+		snap.ThroughputRPS = s.win.Rate()
+		snap.LifetimeRPS = s.lifetimeRPSLocked()
 		snap.DeadlineMissRate = float64(s.missed) / float64(s.completed)
 		snap.MeanSoC = s.socSum / float64(s.completed)
 		snap.MeanEntropy = s.entropySum / float64(s.completed)

@@ -24,6 +24,7 @@ import (
 	"pcnn/internal/core"
 	"pcnn/internal/gpu"
 	"pcnn/internal/nn"
+	"pcnn/internal/obs"
 	"pcnn/internal/satisfaction"
 	"pcnn/internal/sched"
 	"pcnn/internal/serve"
@@ -75,7 +76,28 @@ type (
 	ServeSnapshot = serve.Snapshot
 	// Future resolves to a ServeResult once the request's batch executed.
 	Future = serve.Future
+	// MetricsRegistry holds a server's counters, gauges and histograms
+	// (Server.Metrics) and renders Prometheus text format.
+	MetricsRegistry = obs.Registry
+	// ServeTrace is one request's recorded lifecycle (Server.Traces):
+	// submit → coalesce → escalate → execute → resolve with per-stage
+	// durations.
+	ServeTrace = obs.Trace
+	// LayerProfile is one layer's slice of a simulated plan execution —
+	// predicted vs simulated time, energy, utilizations
+	// (Server.LayerProfile, Plan.SimulateProfiled).
+	LayerProfile = compile.LayerProfile
+	// EventLog is a bounded ring of decision events; attach one to a
+	// Scenario (P-CNN scheduling decisions) or a runtime manager
+	// (calibration backtracks). A nil log records nothing.
+	EventLog = obs.EventLog
+	// DecisionEvent is one recorded decision in an EventLog.
+	DecisionEvent = obs.Event
 )
+
+// NewEventLog builds a decision-event ring holding the most recent n
+// events.
+func NewEventLog(n int) *EventLog { return obs.NewEventLog(n) }
 
 // Serving sentinel errors, re-exported for errors.Is.
 var (
