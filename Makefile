@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test test-short race bench bench-serve fuzz serve-smoke
+.PHONY: ci vet build test test-short race bench bench-serve fuzz fuzz-predict chaos serve-smoke
 
 # ci is the gate every change must pass: static checks, full build, the
 # tier-1 test suite, and the race detector over the packages that own the
@@ -20,7 +20,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/tensor/ ./internal/nn/ ./internal/serve/ ./internal/obs/
+	$(GO) test -race ./internal/tensor/ ./internal/nn/ ./internal/serve/ ./internal/obs/ ./internal/fault/
 
 # bench reproduces the numbers recorded in BENCH_gemm.json.
 bench:
@@ -28,6 +28,21 @@ bench:
 
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzMatMulShapes -fuzztime=30s ./internal/tensor/
+
+# fuzz-predict hammers the Eq 12 time model's monotonicity and anchor
+# properties (the committed seed corpus runs as part of `test`).
+fuzz-predict:
+	$(GO) test -run='^$$' -fuzz=FuzzPredictMS -fuzztime=30s ./internal/compile/
+
+# chaos runs the seeded fault-injection suite — deterministic injector
+# streams, the serve-level chaos scenarios, and the hardening regressions
+# (drain-on-Close, breaker lifecycle, soak conservation) — under the race
+# detector.
+chaos:
+	$(GO) test -race -count=1 ./internal/fault/ \
+		-run 'TestChaos|TestDeterministicStreams|TestStreamIndependence'
+	$(GO) test -race -count=1 ./internal/serve/ \
+		-run 'TestNoResolutionAfterCloseDrain|TestBreakerLifecycleServing|TestSoakConservation|TestExecTimeoutFailsAttempt'
 
 # serve-smoke boots the serving daemon's closed-loop generator against the
 # simulator and fails unless all 100 requests complete with positive SoC.

@@ -64,6 +64,13 @@ func main() {
 		smoke    = flag.Bool("smoke", false, "exit nonzero unless zero loss and positive SoC")
 		tune     = flag.Bool("tune", false, "train the scaled analogue and attach the accuracy tuner (slow)")
 		seed     = flag.Int64("seed", 1, "load generator seed")
+
+		faultSpec = flag.String("fault-spec", "",
+			"seeded fault injection, e.g. seed=42,launch=0.05,slow=0.1,slowx=4,corrupt=0.02,sat=0.01,skew=2.5")
+		retries   = flag.Int("retries", 0, "batch execution retries after a failure (0 = none)")
+		execTO    = flag.Float64("exec-timeout-ms", 0, "per-attempt execution timeout in wall ms (0 = off)")
+		breaker   = flag.Int("breaker", 0, "circuit breaker threshold: consecutive failures before opening (0 = off)")
+		breakerCD = flag.Float64("breaker-cooldown-ms", 0, "open-breaker cooldown before the half-open probe (0 = 250)")
 	)
 	flag.Parse()
 
@@ -75,12 +82,29 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	spec, err := pcnn.ParseFaultSpec(*faultSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inj, err := pcnn.NewFaultInjector(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if inj != nil {
+		log.Printf("fault injection on: %s", spec)
+	}
 	cfg := pcnn.ServeConfig{
-		MaxBatch:       *batch,
-		QueueCap:       *queue,
-		Workers:        *workers,
-		Pace:           *pace,
-		DisableDegrade: *noDeg,
+		MaxBatch:          *batch,
+		QueueCap:          *queue,
+		Workers:           *workers,
+		Pace:              *pace,
+		DisableDegrade:    *noDeg,
+		MaxRetries:        *retries,
+		ExecTimeoutMS:     *execTO,
+		BreakerThreshold:  *breaker,
+		BreakerCooldownMS: *breakerCD,
+		Seed:              *seed,
+		Faults:            inj,
 	}
 
 	if *debug != "" {
@@ -331,7 +355,16 @@ const prometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
 func newHandler(srv *pcnn.Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
+		h := srv.Health()
+		w.Header().Set("Content-Type", "application/json")
+		if h.Degraded {
+			// Degraded serving (breaker tripped, escalated level) and a
+			// draining server both answer 503, with the reasons inline, so
+			// orchestrators can distinguish "remove from rotation" from a
+			// flapping liveness probe.
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		emit(w, h)
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
 		emit(w, srv.Stats())

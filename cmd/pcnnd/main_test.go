@@ -137,6 +137,84 @@ func TestDaemonObservabilityEndpoints(t *testing.T) {
 	_ = srv
 }
 
+// TestHealthzLifecycle: /healthz answers 200 with a JSON health view on
+// a healthy server, 503 with reasons when the circuit breaker trips
+// under injected faults, and 503 "closed" once draining starts.
+func TestHealthzLifecycle(t *testing.T) {
+	srv, h := newTestServer(t)
+
+	rec := get(t, h, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/healthz status %d on a healthy server: %s", rec.Code, rec.Body.String())
+	}
+	var health pcnn.ServeHealth
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatalf("/healthz decode: %v", err)
+	}
+	if health.Status != "ok" || health.Degraded || health.Breaker != "closed" {
+		t.Fatalf("healthy server reports %+v", health)
+	}
+
+	// A chaos deployment whose every launch fails trips the breaker and
+	// degrades /healthz.
+	inj, err := pcnn.NewFaultInjector(pcnn.FaultSpec{Seed: 3, Launch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := deploy("AlexNet", "TX1", pcnn.ImageTagging(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos, err := fw.Serve(pcnn.ServeConfig{
+		Workers: 1, MaxBatch: 1, BreakerThreshold: 1, BreakerCooldownMS: 60000,
+		Faults: inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := newHandler(chaos)
+	rec = httptest.NewRecorder()
+	ch.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/infer", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("POST /infer under launch=1 status %d, want 500", rec.Code)
+	}
+	rec = get(t, ch, "/healthz")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz status %d on a tripped server, want 503", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatalf("/healthz decode: %v", err)
+	}
+	if health.Status != "degraded" || !health.Degraded || health.Breaker != "open" ||
+		len(health.Reasons) == 0 {
+		t.Fatalf("tripped server reports %+v", health)
+	}
+
+	// The chaos deployment also exports its injected-fault tallies.
+	rec = get(t, ch, "/metrics")
+	if !strings.Contains(rec.Body.String(), `pcnn_serve_injected_faults_total{kind="launch"}`) {
+		t.Error("/metrics missing injected-fault counter on a chaos deployment")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := chaos.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rec = get(t, ch, "/healthz")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz status %d on a closed server, want 503", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatalf("/healthz decode: %v", err)
+	}
+	if health.Status != "closed" {
+		t.Fatalf("closed server reports %+v", health)
+	}
+
+	_ = srv
+}
+
 func TestDebugMuxServesPprof(t *testing.T) {
 	mux := debugMux()
 	rec := httptest.NewRecorder()

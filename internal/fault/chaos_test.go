@@ -1,0 +1,312 @@
+// Chaos suite: deterministic fault-injection scenarios driven through the
+// full serving pipeline. Every scenario is seeded — the same Spec replays
+// the same faults against the same requests, so these tests assert exact
+// equality, not statistics: same-seed runs must match outcome for outcome
+// (bit for bit on the simulated quantities), and a run with injection
+// disabled must be indistinguishable from a clean server.
+package fault_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pcnn/internal/fault"
+	"pcnn/internal/satisfaction"
+	"pcnn/internal/serve"
+	"pcnn/internal/tensor"
+)
+
+// chaosExec is a deterministic executor: per-level cost and entropy, no
+// wall-clock dependence, an atomic call counter.
+type chaosExec struct {
+	calls atomic.Int64
+}
+
+var chaosMS = []float64{1.0, 0.8, 0.6}
+
+func (c *chaosExec) MaxBatch() int              { return 4 }
+func (c *chaosExec) Levels() int                { return len(chaosMS) }
+func (c *chaosExec) Entropy(int) float64        { return 0.1 }
+func (c *chaosExec) PredictMS(l, n int) float64 { return chaosMS[l] * float64(n) }
+func (c *chaosExec) Execute(l, n int, _ *tensor.Tensor) (serve.BatchResult, error) {
+	c.calls.Add(1)
+	return serve.BatchResult{
+		TimeMS:  chaosMS[l] * float64(n),
+		EnergyJ: 0.05 * float64(n),
+		Entropy: 0.1,
+	}, nil
+}
+
+// reqOutcome is one request's wall-clock-independent serving outcome.
+// Queue and response times depend on real time and are deliberately
+// excluded; everything here must replay bit-identically under one seed.
+type reqOutcome struct {
+	ok         bool
+	injected   bool // errors.Is(err, fault.ErrInjected)
+	execBits   uint64
+	entBits    uint64
+	energyBits uint64
+	level      int
+	batch      int
+}
+
+// runScenario serves rounds full batches through a single worker with the
+// given injector attached. Each round submits until MaxBatch requests are
+// accepted (injected saturation may reject some) and waits for all of
+// them before the next round, so batch composition — and therefore the
+// order of every fault draw — is fully determined by the spec.
+func runScenario(t *testing.T, inj *fault.Injector, rounds int) ([]reqOutcome, serve.Snapshot, int64) {
+	t.Helper()
+	ex := &chaosExec{}
+	s, err := serve.NewServer(ex, satisfaction.ImageTagging(), serve.Config{
+		Workers: 1, MaxBatch: 4, LingerMS: 5000, QueueCap: 64,
+		MaxRetries: 1, RetryBaseMS: 0.05, Seed: 99, Faults: inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	var outcomes []reqOutcome
+	for round := 0; round < rounds; round++ {
+		var futs []*serve.Future
+		for tries := 0; len(futs) < 4; tries++ {
+			if tries > 10000 {
+				t.Fatal("saturation rejected everything")
+			}
+			f, err := s.Submit()
+			switch {
+			case err == nil:
+				futs = append(futs, f)
+			case errors.Is(err, serve.ErrQueueFull):
+				// injected saturation; resubmit
+			default:
+				t.Fatalf("submit: %v", err)
+			}
+		}
+		for _, f := range futs {
+			res, err := f.Wait(ctx)
+			o := reqOutcome{ok: err == nil}
+			if err == nil {
+				o.execBits = math.Float64bits(res.ExecMS)
+				o.entBits = math.Float64bits(res.Entropy)
+				o.energyBits = math.Float64bits(res.EnergyPerImageJ)
+				o.level = res.Level
+				o.batch = res.Batch
+			} else {
+				o.injected = errors.Is(err, fault.ErrInjected)
+			}
+			outcomes = append(outcomes, o)
+		}
+	}
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	return outcomes, s.Stats(), ex.calls.Load()
+}
+
+var chaosSpec = fault.Spec{
+	Seed: 42, Launch: 0.15, Slow: 0.2, SlowFactor: 2, Corrupt: 0.1, Saturate: 0.1,
+}
+
+// TestChaosSameSeedIdentical: two runs under the same spec replay the
+// same faults against the same requests — identical per-request outcomes
+// (bit for bit), identical injection tallies, identical serve counters.
+func TestChaosSameSeedIdentical(t *testing.T) {
+	const rounds = 12
+	injA := fault.MustNew(chaosSpec)
+	outA, snapA, _ := runScenario(t, injA, rounds)
+	injB := fault.MustNew(chaosSpec)
+	outB, snapB, _ := runScenario(t, injB, rounds)
+
+	if len(outA) != len(outB) {
+		t.Fatalf("runs resolved %d vs %d requests", len(outA), len(outB))
+	}
+	for i := range outA {
+		if outA[i] != outB[i] {
+			t.Fatalf("request %d diverged: %+v vs %+v", i, outA[i], outB[i])
+		}
+	}
+	if ca, cb := injA.Counts(), injB.Counts(); ca != cb {
+		t.Fatalf("fault tallies diverged: %+v vs %+v", ca, cb)
+	}
+	for _, cmp := range []struct {
+		name string
+		a, b uint64
+	}{
+		{"submitted", snapA.Submitted, snapB.Submitted},
+		{"rejected", snapA.Rejected, snapB.Rejected},
+		{"completed", snapA.Completed, snapB.Completed},
+		{"failed", snapA.Failed, snapB.Failed},
+		{"retries", snapA.Retries, snapB.Retries},
+		{"calibrations", snapA.Calibrations, snapB.Calibrations},
+	} {
+		if cmp.a != cmp.b {
+			t.Errorf("%s diverged: %d vs %d", cmp.name, cmp.a, cmp.b)
+		}
+	}
+	// The scenario actually exercised the machinery.
+	if injA.Counts().Total() == 0 {
+		t.Fatal("scenario injected nothing")
+	}
+}
+
+// TestChaosDifferentSeedDiverges: changing only the seed changes the
+// fault sequence (the sanity check that determinism above is not vacuous).
+func TestChaosDifferentSeedDiverges(t *testing.T) {
+	const rounds = 12
+	injA := fault.MustNew(chaosSpec)
+	outA, _, _ := runScenario(t, injA, rounds)
+	spec := chaosSpec
+	spec.Seed = 43
+	injB := fault.MustNew(spec)
+	outB, _, _ := runScenario(t, injB, rounds)
+
+	if injA.Counts() == injB.Counts() && len(outA) == len(outB) {
+		same := true
+		for i := range outA {
+			if outA[i] != outB[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds replayed the identical scenario")
+		}
+	}
+}
+
+// TestChaosDisabledBitIdentical: with injection disabled (nil injector),
+// the serving pipeline is deterministic and clean — two runs produce
+// bit-identical outcomes, every request succeeds, and nothing is tallied.
+func TestChaosDisabledBitIdentical(t *testing.T) {
+	const rounds = 8
+	outA, snapA, callsA := runScenario(t, nil, rounds)
+	outB, snapB, callsB := runScenario(t, nil, rounds)
+
+	if len(outA) != len(outB) || len(outA) != rounds*4 {
+		t.Fatalf("resolved %d and %d requests, want %d", len(outA), len(outB), rounds*4)
+	}
+	for i := range outA {
+		if !outA[i].ok {
+			t.Fatalf("request %d failed on a clean pipeline", i)
+		}
+		if outA[i] != outB[i] {
+			t.Fatalf("clean runs diverged at request %d: %+v vs %+v", i, outA[i], outB[i])
+		}
+	}
+	if snapA.Failed != 0 || snapA.Rejected != 0 || snapA.Retries != 0 {
+		t.Fatalf("clean run tallied failures: %+v", snapA)
+	}
+	if snapA.Submitted != snapB.Submitted || callsA != callsB {
+		t.Fatalf("clean runs did different work: %d/%d submissions, %d/%d executions",
+			snapA.Submitted, snapB.Submitted, callsA, callsB)
+	}
+}
+
+// TestChaosAdmissionInvariants: under sustained injected launch failures
+// with retries, drain-on-Close still completes and resolves every
+// accepted future exactly once — none lost (the first Wait returns), none
+// doubled (a second Wait finds nothing buffered) — and the final snapshot
+// conserves requests exactly.
+func TestChaosAdmissionInvariants(t *testing.T) {
+	inj := fault.MustNew(fault.Spec{Seed: 7, Launch: 0.4})
+	ex := &chaosExec{}
+	s, err := serve.NewServer(ex, satisfaction.ImageTagging(), serve.Config{
+		Workers: 3, MaxBatch: 4, LingerMS: 1, QueueCap: 128,
+		MaxRetries: 2, RetryBaseMS: 0.05, Faults: inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var futs []*serve.Future
+	for i := 0; i < 80; i++ {
+		f, err := s.Submit()
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		futs = append(futs, f)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("drain did not complete: %v", err)
+	}
+
+	var failed int
+	for i, f := range futs {
+		// First Wait must return instantly: the outcome is already
+		// buffered by the time Close returned.
+		got, err := f.Wait(ctx)
+		if err != nil {
+			failed++
+			if !errors.Is(err, fault.ErrInjected) {
+				t.Fatalf("future %d: unexpected error %v", i, err)
+			}
+		} else if got.Batch < 1 {
+			t.Fatalf("future %d: empty result %+v", i, got)
+		}
+		// A second Wait finding nothing proves exactly-once resolution.
+		short, done := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		if _, err := f.Wait(short); !errors.Is(err, context.DeadlineExceeded) {
+			done()
+			t.Fatalf("future %d resolved twice (second Wait: %v)", i, err)
+		}
+		done()
+	}
+	snap := s.Stats()
+	if snap.Submitted != snap.Completed+snap.Failed || snap.QueueDepth != 0 {
+		t.Fatalf("conservation broken after drain: %+v", snap)
+	}
+	if snap.Failed != uint64(failed) {
+		t.Fatalf("snapshot failed %d, futures failed %d", snap.Failed, failed)
+	}
+	if inj.Count(fault.KindLaunch) == 0 || snap.Retries == 0 {
+		t.Fatalf("scenario injected %d launch faults, %d retries — nothing exercised",
+			inj.Count(fault.KindLaunch), snap.Retries)
+	}
+}
+
+// TestChaosMetricsExposition: injected faults are observable through the
+// server's Prometheus exposition, per kind.
+func TestChaosMetricsExposition(t *testing.T) {
+	inj := fault.MustNew(fault.Spec{Seed: 5, Launch: 1})
+	ex := &chaosExec{}
+	s, err := serve.NewServer(ex, satisfaction.ImageTagging(), serve.Config{
+		Workers: 1, MaxBatch: 1, LingerMS: 0.5, Faults: inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := s.Submit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := f.Wait(ctx); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("Wait err = %v, want injected failure", err)
+	}
+	if err := s.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := s.WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	exposition := sb.String()
+	if !strings.Contains(exposition, `pcnn_serve_injected_faults_total{kind="launch"} 1`) {
+		t.Errorf("exposition missing launch fault counter:\n%s", exposition)
+	}
+	for _, k := range fault.Kinds() {
+		if !strings.Contains(exposition, `kind="`+k.String()+`"`) {
+			t.Errorf("exposition missing fault kind %q", k)
+		}
+	}
+}

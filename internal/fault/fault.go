@@ -1,0 +1,391 @@
+// Package fault is P-CNN's seeded fault-injection framework: a
+// deterministic source of the failures a production serving deployment
+// sees in the field — kernel-launch errors, latency spikes, corrupted
+// layer outputs, admission-queue saturation and clock skew — so the
+// run-time management paths (retry, circuit breaking, calibration
+// backtracking, graceful degradation) can be exercised reproducibly.
+//
+// Every fault kind draws from its own *rand.Rand stream seeded from
+// Spec.Seed plus the kind's offset, so enabling one kind never perturbs
+// the sequence another kind produces: a chaos scenario that injects only
+// launch errors fails the exact same requests whether or not slow-kernel
+// injection is also turned on.
+//
+// A nil *Injector is the disabled state and every method is nil-safe and
+// allocation-free, so production code threads the injector through
+// unconditionally and pays nothing when it is off. Nothing here imports
+// anything beyond the standard library, so every package in the tree
+// (including internal/gpu) may depend on it.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+const (
+	// KindLaunch fails a kernel launch (gpu.LaunchError wraps ErrInjected).
+	KindLaunch Kind = iota
+	// KindSlow stretches one execution's simulated time/energy by a factor.
+	KindSlow
+	// KindCorrupt corrupts a batch's classification output (uniform softmax
+	// rows plus an entropy boost), feeding the calibration path.
+	KindCorrupt
+	// KindSaturate rejects one admission as if the queue were full.
+	KindSaturate
+	// KindSkew shifts a timestamp by a uniform ±SkewMS offset.
+	KindSkew
+
+	numKinds
+)
+
+// Kinds returns every fault kind, in stable order.
+func Kinds() []Kind {
+	return []Kind{KindLaunch, KindSlow, KindCorrupt, KindSaturate, KindSkew}
+}
+
+// String names the kind the way the spec grammar and metric labels do.
+func (k Kind) String() string {
+	switch k {
+	case KindLaunch:
+		return "launch"
+	case KindSlow:
+		return "slow"
+	case KindCorrupt:
+		return "corrupt"
+	case KindSaturate:
+		return "saturate"
+	case KindSkew:
+		return "skew"
+	}
+	return "unknown"
+}
+
+// ErrInjected is the sentinel cause of every injected launch failure;
+// callers distinguish chaos from genuine simulator errors with errors.Is.
+var ErrInjected = errors.New("fault: injected failure")
+
+// Spec declares what to inject and how often. The zero value is the
+// disabled spec. Rates are per-opportunity probabilities in [0, 1].
+type Spec struct {
+	// Seed roots every kind's random stream; 0 means 1.
+	Seed int64
+	// Launch is the probability one kernel launch (or batch execution)
+	// fails with an injected error.
+	Launch float64
+	// Slow is the probability one execution's time and energy are
+	// stretched by SlowFactor.
+	Slow float64
+	// SlowFactor multiplies a slowed execution's time/energy; values ≤ 1
+	// mean the default ×4.
+	SlowFactor float64
+	// Corrupt is the probability one batch's classification output is
+	// corrupted (uniform rows, entropy boosted by CorruptNats).
+	Corrupt float64
+	// CorruptNats is the entropy boost a corrupted batch reports; values
+	// ≤ 0 mean the default 2 nats.
+	CorruptNats float64
+	// Saturate is the probability one admission is rejected as queue-full.
+	Saturate float64
+	// SkewMS bounds the uniform ±SkewMS clock-skew offset applied to
+	// timestamps; 0 disables skew.
+	SkewMS float64
+}
+
+// Enabled reports whether the spec injects anything at all.
+func (s Spec) Enabled() bool {
+	return s.Launch > 0 || s.Slow > 0 || s.Corrupt > 0 || s.Saturate > 0 || s.SkewMS > 0
+}
+
+// normalized fills the defaults String renders and New installs.
+func (s Spec) normalized() Spec {
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.SlowFactor <= 1 {
+		s.SlowFactor = 4
+	}
+	if s.CorruptNats <= 0 {
+		s.CorruptNats = 2
+	}
+	return s
+}
+
+// Validate rejects out-of-range rates and factors.
+func (s Spec) Validate() error {
+	check := func(name string, rate float64) error {
+		if rate < 0 || rate > 1 {
+			return fmt.Errorf("fault: %s rate %v out of [0, 1]", name, rate)
+		}
+		return nil
+	}
+	for _, c := range []struct {
+		name string
+		rate float64
+	}{
+		{"launch", s.Launch},
+		{"slow", s.Slow},
+		{"corrupt", s.Corrupt},
+		{"sat", s.Saturate},
+	} {
+		if err := check(c.name, c.rate); err != nil {
+			return err
+		}
+	}
+	if s.SkewMS < 0 {
+		return fmt.Errorf("fault: skew %v ms negative", s.SkewMS)
+	}
+	return nil
+}
+
+// String renders the canonical spec-grammar form; ParseSpec(s.String())
+// round-trips to the normalized spec. The disabled spec renders as "".
+func (s Spec) String() string {
+	if !s.Enabled() {
+		return ""
+	}
+	s = s.normalized()
+	var parts []string
+	parts = append(parts, "seed="+strconv.FormatInt(s.Seed, 10))
+	add := func(key string, v float64) {
+		parts = append(parts, key+"="+strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	if s.Launch > 0 {
+		add("launch", s.Launch)
+	}
+	if s.Slow > 0 {
+		add("slow", s.Slow)
+		add("slowx", s.SlowFactor)
+	}
+	if s.Corrupt > 0 {
+		add("corrupt", s.Corrupt)
+		add("nats", s.CorruptNats)
+	}
+	if s.Saturate > 0 {
+		add("sat", s.Saturate)
+	}
+	if s.SkewMS > 0 {
+		add("skew", s.SkewMS)
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseSpec parses the comma-separated key=value fault-spec grammar:
+//
+//	seed=42,launch=0.05,slow=0.1,slowx=4,corrupt=0.02,nats=2,sat=0.01,skew=2.5
+//
+// Keys: seed (stream seed), launch/slow/corrupt/sat (rates in [0,1]),
+// slowx (slow-kernel factor), nats (corruption entropy boost), skew
+// (± clock-skew bound, ms). The empty string parses to the disabled spec.
+func ParseSpec(str string) (Spec, error) {
+	var s Spec
+	str = strings.TrimSpace(str)
+	if str == "" {
+		return s, nil
+	}
+	for _, part := range strings.Split(str, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("fault: spec term %q is not key=value", part)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		if key == "seed" {
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("fault: seed %q: %v", val, err)
+			}
+			s.Seed = n
+			continue
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return Spec{}, fmt.Errorf("fault: %s value %q: %v", key, val, err)
+		}
+		switch key {
+		case "launch":
+			s.Launch = f
+		case "slow":
+			s.Slow = f
+		case "slowx":
+			s.SlowFactor = f
+		case "corrupt":
+			s.Corrupt = f
+		case "nats":
+			s.CorruptNats = f
+		case "sat":
+			s.Saturate = f
+		case "skew":
+			s.SkewMS = f
+		default:
+			return Spec{}, fmt.Errorf("fault: unknown spec key %q (want %s)", key, specKeys())
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// specKeys lists the grammar's keys for error messages, sorted.
+func specKeys() string {
+	keys := []string{"seed", "launch", "slow", "slowx", "corrupt", "nats", "sat", "skew"}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}
+
+// Counts tallies how many faults of each kind were injected.
+type Counts struct {
+	Launch   uint64 `json:"launch"`
+	Slow     uint64 `json:"slow"`
+	Corrupt  uint64 `json:"corrupt"`
+	Saturate uint64 `json:"saturate"`
+	Skew     uint64 `json:"skew"`
+}
+
+// Total sums every kind.
+func (c Counts) Total() uint64 {
+	return c.Launch + c.Slow + c.Corrupt + c.Saturate + c.Skew
+}
+
+// stream is one kind's independent random source.
+type stream struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// Injector draws faults from a Spec. All methods are safe for concurrent
+// use, nil-safe, and allocation-free; a nil *Injector injects nothing and
+// is the zero-overhead disabled state production code threads through.
+type Injector struct {
+	spec    Spec
+	streams [numKinds]stream
+	counts  [numKinds]atomic.Uint64
+}
+
+// New builds an injector for the spec, or nil (no error) when the spec is
+// disabled — callers use the nil injector directly.
+func New(spec Spec) (*Injector, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if !spec.Enabled() {
+		return nil, nil
+	}
+	spec = spec.normalized()
+	in := &Injector{spec: spec}
+	for k := Kind(0); k < numKinds; k++ {
+		in.streams[k].rng = rand.New(rand.NewSource(spec.Seed + int64(k)))
+	}
+	return in, nil
+}
+
+// MustNew is New for specs known valid (tests, compiled-in scenarios).
+func MustNew(spec Spec) *Injector {
+	in, err := New(spec)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// Spec returns the normalized spec; the zero Spec for a nil injector.
+func (in *Injector) Spec() Spec {
+	if in == nil {
+		return Spec{}
+	}
+	return in.spec
+}
+
+// fire draws one Bernoulli trial from the kind's stream and tallies hits.
+func (in *Injector) fire(k Kind, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	st := &in.streams[k]
+	st.mu.Lock()
+	hit := st.rng.Float64() < rate
+	st.mu.Unlock()
+	if hit {
+		in.counts[k].Add(1)
+	}
+	return hit
+}
+
+// LaunchError returns ErrInjected when a launch fault fires, else nil.
+func (in *Injector) LaunchError() error {
+	if in == nil || !in.fire(KindLaunch, in.spec.Launch) {
+		return nil
+	}
+	return ErrInjected
+}
+
+// SlowFactor returns the time/energy multiplier for one execution: the
+// spec's factor when a slow fault fires, else exactly 1.
+func (in *Injector) SlowFactor() float64 {
+	if in == nil || !in.fire(KindSlow, in.spec.Slow) {
+		return 1
+	}
+	return in.spec.SlowFactor
+}
+
+// CorruptNats returns the entropy boost for one batch output: the spec's
+// nats when a corruption fault fires, else 0.
+func (in *Injector) CorruptNats() float64 {
+	if in == nil || !in.fire(KindCorrupt, in.spec.Corrupt) {
+		return 0
+	}
+	return in.spec.CorruptNats
+}
+
+// Saturate reports whether one admission should be rejected as queue-full.
+func (in *Injector) Saturate() bool {
+	return in != nil && in.fire(KindSaturate, in.spec.Saturate)
+}
+
+// Skew returns a uniform offset in ±SkewMS to add to one timestamp; 0
+// when skew is disabled.
+func (in *Injector) Skew() time.Duration {
+	if in == nil || in.spec.SkewMS <= 0 {
+		return 0
+	}
+	st := &in.streams[KindSkew]
+	st.mu.Lock()
+	u := st.rng.Float64()
+	st.mu.Unlock()
+	in.counts[KindSkew].Add(1)
+	ms := (2*u - 1) * in.spec.SkewMS
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// Count returns how many faults of one kind were injected so far.
+func (in *Injector) Count(k Kind) uint64 {
+	if in == nil || k < 0 || k >= numKinds {
+		return 0
+	}
+	return in.counts[k].Load()
+}
+
+// Counts returns the per-kind injection tallies.
+func (in *Injector) Counts() Counts {
+	if in == nil {
+		return Counts{}
+	}
+	return Counts{
+		Launch:   in.counts[KindLaunch].Load(),
+		Slow:     in.counts[KindSlow].Load(),
+		Corrupt:  in.counts[KindCorrupt].Load(),
+		Saturate: in.counts[KindSaturate].Load(),
+		Skew:     in.counts[KindSkew].Load(),
+	}
+}

@@ -1,0 +1,250 @@
+package fault
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	cases := []Spec{
+		{Seed: 42, Launch: 0.05},
+		{Seed: 7, Slow: 0.1, SlowFactor: 8},
+		{Seed: 3, Corrupt: 0.02, CorruptNats: 1.5},
+		{Seed: 9, Saturate: 0.01},
+		{Seed: 11, SkewMS: 2.5},
+		{Seed: 42, Launch: 0.05, Slow: 0.1, SlowFactor: 4, Corrupt: 0.02,
+			CorruptNats: 2, Saturate: 0.01, SkewMS: 2.5},
+		// defaults fill in: seed 0 → 1, slowx ≤ 1 → 4, nats ≤ 0 → 2.
+		{Launch: 1},
+		{Slow: 0.5},
+		{Corrupt: 0.25},
+	}
+	for _, want := range cases {
+		str := want.String()
+		got, err := ParseSpec(str)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", str, err)
+		}
+		// String renders the normalized spec, so parsing it must
+		// reproduce that normalized form exactly.
+		if got.normalized() != want.normalized() {
+			t.Errorf("round trip %q: got %+v, want %+v", str, got.normalized(), want.normalized())
+		}
+		if again := got.String(); again != str {
+			t.Errorf("String not a fixed point: %q then %q", str, again)
+		}
+	}
+}
+
+func TestParseSpecDisabledAndErrors(t *testing.T) {
+	if s, err := ParseSpec(""); err != nil || s.Enabled() {
+		t.Fatalf("empty spec: %+v, %v", s, err)
+	}
+	if got := (Spec{}).String(); got != "" {
+		t.Fatalf("disabled spec renders %q, want empty", got)
+	}
+	for _, bad := range []string{
+		"launch",               // not key=value
+		"launch=oops",          // not a number
+		"seed=1.5",             // seed must be integer
+		"warp=0.1",             // unknown key
+		"launch=1.5",           // rate out of range
+		"sat=-0.1",             // negative rate
+		"skew=-2",              // negative skew
+		"launch=0.1,corrupt=9", // second term invalid
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted, want error", bad)
+		}
+	}
+	// Unknown-key errors name the grammar.
+	_, err := ParseSpec("warp=0.1")
+	if err == nil || !strings.Contains(err.Error(), "seed") {
+		t.Errorf("unknown-key error %v should list valid keys", err)
+	}
+}
+
+func TestNewDisabledIsNil(t *testing.T) {
+	in, err := New(Spec{Seed: 99})
+	if err != nil || in != nil {
+		t.Fatalf("disabled spec: injector %v, err %v; want nil, nil", in, err)
+	}
+	if _, err := New(Spec{Launch: 2}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+// TestNilInjectorInjectsNothing pins the disabled-state contract every
+// caller on the hot path relies on.
+func TestNilInjectorInjectsNothing(t *testing.T) {
+	var in *Injector
+	for i := 0; i < 100; i++ {
+		if in.LaunchError() != nil || in.SlowFactor() != 1 ||
+			in.CorruptNats() != 0 || in.Saturate() || in.Skew() != 0 {
+			t.Fatal("nil injector injected a fault")
+		}
+	}
+	if in.Counts() != (Counts{}) || in.Count(KindLaunch) != 0 {
+		t.Fatal("nil injector counted something")
+	}
+	if in.Spec() != (Spec{}) {
+		t.Fatal("nil injector has a spec")
+	}
+}
+
+// launchSequence records which of n trials inject a launch fault.
+func launchSequence(in *Injector, n int) []bool {
+	seq := make([]bool, n)
+	for i := range seq {
+		seq[i] = in.LaunchError() != nil
+	}
+	return seq
+}
+
+// TestDeterministicStreams: the same seed replays the same fault
+// sequence, and a different seed diverges.
+func TestDeterministicStreams(t *testing.T) {
+	spec := Spec{Seed: 42, Launch: 0.3}
+	a := launchSequence(MustNew(spec), 500)
+	b := launchSequence(MustNew(spec), 500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at trial %d", i)
+		}
+	}
+	other := launchSequence(MustNew(Spec{Seed: 43, Launch: 0.3}), 500)
+	same := true
+	for i := range a {
+		if a[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+// TestStreamIndependence is the core isolation property: enabling a
+// second fault kind must not perturb the first kind's sequence, because
+// each kind draws from its own seeded stream.
+func TestStreamIndependence(t *testing.T) {
+	launchOnly := MustNew(Spec{Seed: 42, Launch: 0.3})
+	everything := MustNew(Spec{Seed: 42, Launch: 0.3, Slow: 0.5, Corrupt: 0.5,
+		Saturate: 0.5, SkewMS: 3})
+	for i := 0; i < 500; i++ {
+		want := launchOnly.LaunchError() != nil
+		// Interleave draws from every other kind before the launch draw.
+		everything.SlowFactor()
+		everything.CorruptNats()
+		everything.Saturate()
+		everything.Skew()
+		got := everything.LaunchError() != nil
+		if got != want {
+			t.Fatalf("trial %d: launch sequence perturbed by other kinds (got %v, want %v)",
+				i, got, want)
+		}
+	}
+}
+
+func TestInjectorValuesAndCounts(t *testing.T) {
+	in := MustNew(Spec{Seed: 1, Launch: 1, Slow: 1, SlowFactor: 6,
+		Corrupt: 1, CorruptNats: 3, Saturate: 1, SkewMS: 2})
+	if err := in.LaunchError(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("LaunchError = %v, want ErrInjected", err)
+	}
+	if f := in.SlowFactor(); f != 6 {
+		t.Fatalf("SlowFactor = %v, want 6", f)
+	}
+	if n := in.CorruptNats(); n != 3 {
+		t.Fatalf("CorruptNats = %v, want 3", n)
+	}
+	if !in.Saturate() {
+		t.Fatal("Saturate at rate 1 did not fire")
+	}
+	for i := 0; i < 50; i++ {
+		d := in.Skew()
+		if ms := float64(d) / float64(time.Millisecond); math.Abs(ms) > 2 {
+			t.Fatalf("Skew %v outside ±2ms", d)
+		}
+	}
+	c := in.Counts()
+	want := Counts{Launch: 1, Slow: 1, Corrupt: 1, Saturate: 1, Skew: 50}
+	if c != want {
+		t.Fatalf("Counts = %+v, want %+v", c, want)
+	}
+	if c.Total() != 54 {
+		t.Fatalf("Total = %d, want 54", c.Total())
+	}
+	if in.Count(KindSkew) != 50 || in.Count(Kind(-1)) != 0 || in.Count(numKinds) != 0 {
+		t.Fatal("Count(kind) bounds wrong")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{KindLaunch: "launch", KindSlow: "slow",
+		KindCorrupt: "corrupt", KindSaturate: "saturate", KindSkew: "skew"}
+	ks := Kinds()
+	if len(ks) != int(numKinds) {
+		t.Fatalf("Kinds() has %d entries, want %d", len(ks), numKinds)
+	}
+	for _, k := range ks {
+		if k.String() != want[k] {
+			t.Errorf("Kind %d String = %q, want %q", k, k.String(), want[k])
+		}
+	}
+	if Kind(99).String() != "unknown" {
+		t.Error("out-of-range Kind should stringify as unknown")
+	}
+}
+
+// TestDisabledPathAllocationFree guards the zero-overhead contract: the
+// nil injector and rate-0 draws must not allocate on the hot path.
+func TestDisabledPathAllocationFree(t *testing.T) {
+	var nilInj *Injector
+	if n := testing.AllocsPerRun(200, func() {
+		nilInj.LaunchError()
+		nilInj.SlowFactor()
+		nilInj.CorruptNats()
+		nilInj.Saturate()
+		nilInj.Skew()
+	}); n != 0 {
+		t.Errorf("nil injector allocates %v per run", n)
+	}
+	// An enabled injector with one kind on: the other kinds' draws stay
+	// allocation-free too (rate 0 short-circuits before the stream).
+	in := MustNew(Spec{Seed: 5, Launch: 0.5})
+	if n := testing.AllocsPerRun(200, func() {
+		in.LaunchError()
+		in.SlowFactor()
+		in.CorruptNats()
+		in.Saturate()
+		in.Skew()
+	}); n != 0 {
+		t.Errorf("enabled injector allocates %v per run", n)
+	}
+}
+
+// BenchmarkNilInjector measures the disabled hot path: report with
+// -benchmem to confirm 0 B/op, 0 allocs/op.
+func BenchmarkNilInjector(b *testing.B) {
+	var in *Injector
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if in.LaunchError() != nil || in.SlowFactor() != 1 {
+			b.Fatal("nil injector fired")
+		}
+	}
+}
+
+func BenchmarkEnabledInjector(b *testing.B) {
+	in := MustNew(Spec{Seed: 5, Launch: 0.01, Slow: 0.01})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		in.LaunchError()
+		in.SlowFactor()
+	}
+}

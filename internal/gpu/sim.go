@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"pcnn/internal/fault"
 )
 
 // Result reports what one simulated kernel launch did.
@@ -300,10 +302,34 @@ func (d *Device) Simulate(k Kernel, cfg LaunchConfig) (Result, error) {
 	return res, nil
 }
 
+// LaunchError is the typed failure of one launch in a Run sequence. It
+// wraps the underlying cause (errors.Is still sees ErrNoResidency and
+// fault.ErrInjected through Unwrap) and records which launch failed, so
+// serving-layer retry and circuit-breaking decisions can tell injected
+// chaos from genuine simulator rejections.
+type LaunchError struct {
+	Kernel   string // failing kernel's name
+	Index    int    // position in the launch sequence
+	Injected bool   // true when a fault injector produced the failure
+	Err      error  // underlying cause
+}
+
+// Error implements error.
+func (e *LaunchError) Error() string {
+	tag := ""
+	if e.Injected {
+		tag = " [injected]"
+	}
+	return fmt.Sprintf("gpu: launch %d (%s)%s: %v", e.Index, e.Kernel, tag, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *LaunchError) Unwrap() error { return e.Err }
+
 // Run simulates a sequence of launches back to back (e.g. the layers of a
 // network) and returns per-launch results plus the aggregate.
 func (d *Device) Run(launches []Launch) ([]Result, Aggregate, error) {
-	return d.RunObserved(launches, nil)
+	return d.RunInjected(launches, nil, nil)
 }
 
 // RunObserver receives each launch's result as RunObserved retires it, in
@@ -315,12 +341,30 @@ type RunObserver func(index int, r Result)
 // RunObserved is Run with an optional per-launch observer (nil is
 // allowed and equivalent to Run).
 func (d *Device) RunObserved(launches []Launch, observe RunObserver) ([]Result, Aggregate, error) {
+	return d.RunInjected(launches, observe, nil)
+}
+
+// RunInjected is RunObserved with a fault injector in the launch loop: an
+// injected launch fault fails the run with a typed *LaunchError (Injected
+// set), and a slow-kernel fault stretches that launch's simulated time and
+// energy by the injector's factor. A nil injector is the production path
+// and costs nothing; every failure — injected or genuine — is returned as
+// a *LaunchError naming the launch that died.
+func (d *Device) RunInjected(launches []Launch, observe RunObserver, inj *fault.Injector) ([]Result, Aggregate, error) {
 	results := make([]Result, 0, len(launches))
 	var agg Aggregate
 	for i, l := range launches {
+		if err := inj.LaunchError(); err != nil {
+			return nil, Aggregate{}, &LaunchError{Kernel: l.Kernel.Name, Index: i, Injected: true, Err: err}
+		}
 		r, err := d.Simulate(l.Kernel, l.Config)
 		if err != nil {
-			return nil, Aggregate{}, err
+			return nil, Aggregate{}, &LaunchError{Kernel: l.Kernel.Name, Index: i, Err: err}
+		}
+		if f := inj.SlowFactor(); f > 1 {
+			r.Cycles *= f
+			r.TimeMS *= f
+			r.EnergyJ *= f
 		}
 		results = append(results, r)
 		agg.TimeMS += r.TimeMS

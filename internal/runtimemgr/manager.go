@@ -25,6 +25,19 @@ type Manager struct {
 	confidentStreak int
 	// RecoverAfter disables level recovery when 0.
 	RecoverAfter int
+	// FaultBacktrackAfter treats repeated execution faults as a
+	// calibration trigger: that many consecutive NoteFault calls (with no
+	// successful Infer between them) back the tuning level off one step,
+	// the same move an entropy crossing makes — a level that keeps
+	// failing in the field is as untrustworthy as one that is too
+	// uncertain. 0 disables fault-triggered calibration.
+	FaultBacktrackAfter int
+	// faultStreak counts consecutive faults since the last success.
+	faultStreak int
+	// Uncertainty, when non-nil, replaces the mean-entropy measurement on
+	// each Infer — the test seam for driving the calibration loop through
+	// exact threshold crossings (mirroring Tuner.Uncertainty).
+	Uncertainty func(probs [][]float32) float64
 	// Events, when non-nil, receives one record per calibration backtrack
 	// and per recovery re-advance. A nil log records nothing.
 	Events *obs.EventLog
@@ -39,11 +52,12 @@ func NewManager(net *nn.Sequential, table *Table, threshold float64) (*Manager, 
 		return nil, fmt.Errorf("runtimemgr: empty tuning table")
 	}
 	m := &Manager{
-		net:          net,
-		table:        table,
-		threshold:    threshold,
-		level:        len(table.Entries) - 1,
-		RecoverAfter: 8,
+		net:                 net,
+		table:               table,
+		threshold:           threshold,
+		level:               len(table.Entries) - 1,
+		RecoverAfter:        8,
+		FaultBacktrackAfter: 3,
 	}
 	m.applyLevel()
 	return m, nil
@@ -77,6 +91,10 @@ func (m *Manager) applyLevel() {
 func (m *Manager) Infer(x *tensor.Tensor) ([][]float32, float64) {
 	probs := m.net.Predict(x)
 	h := entropy.Mean(probs)
+	if m.Uncertainty != nil {
+		h = m.Uncertainty(probs)
+	}
+	m.faultStreak = 0 // a successful inference breaks any fault streak
 	switch {
 	case h > m.threshold && m.level > 0:
 		m.level--
@@ -102,6 +120,34 @@ func (m *Manager) Infer(x *tensor.Tensor) ([][]float32, float64) {
 		m.confidentStreak = 0
 	}
 	return probs, h
+}
+
+// NoteFault reports one failed execution at the current level (a launch
+// error, a timeout — anything that produced no usable output). Once
+// FaultBacktrackAfter consecutive faults accumulate with no successful
+// inference between them, the manager calibrates exactly one step back
+// along the tuning path — the same single-step walk an entropy crossing
+// takes — and resets the streak. It reports whether this call backtracked.
+func (m *Manager) NoteFault() bool {
+	if m.FaultBacktrackAfter <= 0 {
+		return false
+	}
+	m.faultStreak++
+	if m.faultStreak < m.FaultBacktrackAfter {
+		return false
+	}
+	m.faultStreak = 0
+	if m.level == 0 {
+		return false // nothing left to back off
+	}
+	m.level--
+	m.calibrations++
+	m.confidentStreak = 0
+	m.applyLevel()
+	m.Events.Record("runtimemgr.fault-calibrate", map[string]any{
+		"level": m.level,
+	})
+	return true
 }
 
 // PredictedSpeedup returns the table's speedup at the current level.

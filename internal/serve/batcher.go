@@ -188,20 +188,23 @@ func gatherInputs(reqs []*request) (batch *tensor.Tensor, demoted bool) {
 }
 
 // runBatch executes one batch, resolves its futures, and feeds the
-// entropy/slack signals back into the controller.
+// entropy/slack signals back into the controller. Execution runs through
+// the hardening stack — circuit breaker, per-attempt timeout, bounded
+// retry with backoff — and only this worker resolves the batch's futures,
+// which is what keeps drain-on-Close exact: Close waits for the workers,
+// and no orphaned attempt can resolve anything after that.
 func (s *Server) runBatch(job *batchJob) {
 	n := len(job.reqs)
-	start := time.Now()
+	start := s.stamp()
 	inputs, demoted := gatherInputs(job.reqs)
 	if demoted {
 		s.st.demotedInc()
 	}
-	res, err := s.ex.Execute(job.level, n, inputs)
+	res, err := s.executeBatch(job.level, n, inputs)
 	if s.cfg.Pace > 0 && err == nil {
 		time.Sleep(time.Duration(res.TimeMS * s.cfg.Pace * float64(time.Millisecond)))
 	}
 	s.inflight.Add(-1)
-	s.queueDepth.Add(int64(-n))
 	s.met.observeBatch(job.level, n)
 	if err != nil {
 		s.st.failBatch(n)

@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position. The numeric values are
+// what the pcnn_serve_breaker_state gauge exports.
+type BreakerState int
+
+const (
+	// BreakerClosed admits every execution attempt (healthy).
+	BreakerClosed BreakerState = 0
+	// BreakerHalfOpen admits exactly one probe attempt after the cooldown;
+	// its outcome decides between closing and re-opening.
+	BreakerHalfOpen BreakerState = 1
+	// BreakerOpen fails every attempt fast until the cooldown elapses.
+	BreakerOpen BreakerState = 2
+)
+
+// String names the state for /healthz and snapshots.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "open"
+	}
+}
+
+// breaker is a per-executor circuit breaker: `threshold` consecutive
+// execution failures trip it open, every attempt then fails fast until
+// the cooldown elapses, after which exactly one half-open probe runs —
+// success closes the breaker, failure re-opens it for another cooldown.
+// A threshold ≤ 0 disables the breaker entirely; the disabled allow path
+// takes no lock, keeping the executor hot path untouched.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu          sync.Mutex
+	state       BreakerState
+	consecFails int
+	openedAt    time.Time
+	probing     bool // a half-open probe attempt is in flight
+
+	trips  uint64 // closed/half-open → open transitions
+	resets uint64 // half-open → closed transitions
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if cooldown <= 0 {
+		cooldown = 250 * time.Millisecond
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// allow reports whether one execution attempt may proceed. An open
+// breaker past its cooldown moves to half-open and admits the caller as
+// the single probe; concurrent attempts keep failing fast until the probe
+// reports back.
+func (b *breaker) allow() bool {
+	if b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success reports one attempt that completed; it resets the failure
+// streak and closes a half-open breaker.
+func (b *breaker) success() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecFails = 0
+	if b.state == BreakerHalfOpen {
+		b.state = BreakerClosed
+		b.probing = false
+		b.resets++
+	}
+}
+
+// failure reports one failed attempt; threshold consecutive failures trip
+// a closed breaker, and any half-open probe failure re-opens immediately.
+func (b *breaker) failure() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.trip()
+	case BreakerClosed:
+		b.consecFails++
+		if b.consecFails >= b.threshold {
+			b.trip()
+		}
+	}
+}
+
+// trip opens the breaker; callers hold b.mu.
+func (b *breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.probing = false
+	b.consecFails = 0
+	b.trips++
+}
+
+// snapshot returns the state and lifetime trip/reset tallies.
+func (b *breaker) snapshot() (state BreakerState, trips, resets uint64) {
+	if b.threshold <= 0 {
+		return BreakerClosed, 0, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.trips, b.resets
+}

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives the breaker's cooldown without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	return newBreaker(threshold, cooldown, clk.now), clk
+}
+
+func wantState(t *testing.T, b *breaker, want BreakerState) {
+	t.Helper()
+	if st, _, _ := b.snapshot(); st != want {
+		t.Fatalf("breaker state = %v, want %v", st, want)
+	}
+}
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		if !b.allow() {
+			t.Fatalf("closed breaker refused attempt %d", i)
+		}
+		b.failure()
+		wantState(t, b, BreakerClosed)
+	}
+	b.allow()
+	b.failure() // third consecutive failure
+	wantState(t, b, BreakerOpen)
+	if b.allow() {
+		t.Fatal("open breaker admitted an attempt inside the cooldown")
+	}
+	if _, trips, resets := b.snapshot(); trips != 1 || resets != 0 {
+		t.Fatalf("trips %d resets %d, want 1 and 0", trips, resets)
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b, _ := newTestBreaker(2, time.Second)
+	b.failure()
+	b.success() // interleaved success: the streak restarts
+	b.failure()
+	wantState(t, b, BreakerClosed)
+	b.failure()
+	wantState(t, b, BreakerOpen)
+}
+
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.failure()
+	wantState(t, b, BreakerOpen)
+
+	clk.advance(999 * time.Millisecond)
+	if b.allow() {
+		t.Fatal("admitted before the cooldown elapsed")
+	}
+	clk.advance(time.Millisecond)
+	if !b.allow() {
+		t.Fatal("cooldown elapsed but probe refused")
+	}
+	wantState(t, b, BreakerHalfOpen)
+	// The single-probe invariant: while the probe is in flight every
+	// other attempt fails fast.
+	if b.allow() || b.allow() {
+		t.Fatal("second probe admitted while the first is in flight")
+	}
+	b.success()
+	wantState(t, b, BreakerClosed)
+	if _, trips, resets := b.snapshot(); trips != 1 || resets != 1 {
+		t.Fatalf("trips %d resets %d, want 1 and 1", trips, resets)
+	}
+	if !b.allow() {
+		t.Fatal("recovered breaker refused an attempt")
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.failure()
+	clk.advance(time.Second)
+	if !b.allow() {
+		t.Fatal("probe refused")
+	}
+	b.failure() // probe failed: straight back to open, new cooldown
+	wantState(t, b, BreakerOpen)
+	if b.allow() {
+		t.Fatal("re-opened breaker admitted an attempt immediately")
+	}
+	clk.advance(time.Second)
+	if !b.allow() {
+		t.Fatal("second cooldown elapsed but probe refused")
+	}
+	b.success()
+	wantState(t, b, BreakerClosed)
+	if _, trips, resets := b.snapshot(); trips != 2 || resets != 1 {
+		t.Fatalf("trips %d resets %d, want 2 and 1", trips, resets)
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b, _ := newTestBreaker(0, time.Second)
+	for i := 0; i < 10; i++ {
+		b.failure()
+		if !b.allow() {
+			t.Fatal("disabled breaker refused an attempt")
+		}
+	}
+	st, trips, resets := b.snapshot()
+	if st != BreakerClosed || trips != 0 || resets != 0 {
+		t.Fatalf("disabled breaker snapshot %v/%d/%d, want closed/0/0", st, trips, resets)
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := newBreaker(1, 0, nil)
+	if b.cooldown != 250*time.Millisecond {
+		t.Fatalf("default cooldown %v, want 250ms", b.cooldown)
+	}
+	if b.now == nil {
+		t.Fatal("nil clock not defaulted")
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	if BreakerClosed.String() != "closed" || BreakerHalfOpen.String() != "half-open" ||
+		BreakerOpen.String() != "open" {
+		t.Fatal("breaker state strings wrong")
+	}
+}

@@ -53,6 +53,14 @@ func (c *controller) Level() int {
 	return c.level
 }
 
+// Base returns the preferred operating point the controller recovers
+// toward.
+func (c *controller) Base() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.base
+}
+
 // escalate raises the level until fits(level) reports the flush would meet
 // its deadline, or the (possibly calibration-lowered) ceiling stops it. It
 // returns the level the flush executes at. The path is ordered by the

@@ -1,0 +1,149 @@
+package serve
+
+import "testing"
+
+// never and always are escalate() predicates for the controller tests.
+func never(int) bool  { return false }
+func always(int) bool { return true }
+
+func TestNewControllerClamps(t *testing.T) {
+	cases := []struct {
+		levels, base       int
+		wantLevel, wantMax int
+	}{
+		{levels: 5, base: 2, wantLevel: 2, wantMax: 4},
+		{levels: 5, base: -3, wantLevel: 0, wantMax: 4},
+		{levels: 5, base: 99, wantLevel: 4, wantMax: 4},
+		{levels: 0, base: 0, wantLevel: 0, wantMax: 0},
+		{levels: -2, base: 1, wantLevel: 0, wantMax: 0},
+	}
+	for _, c := range cases {
+		ctl := newController(c.levels, c.base, 4)
+		if ctl.Level() != c.wantLevel || ctl.Base() != c.wantLevel || ctl.max != c.wantMax {
+			t.Errorf("newController(%d, %d): level %d base %d max %d, want level/base %d max %d",
+				c.levels, c.base, ctl.Level(), ctl.Base(), ctl.max, c.wantLevel, c.wantMax)
+		}
+	}
+}
+
+func TestControllerEscalateWalksToFit(t *testing.T) {
+	ctl := newController(6, 0, 4)
+	got := ctl.escalate(func(level int) bool { return level >= 3 })
+	if got != 3 || ctl.Level() != 3 {
+		t.Fatalf("escalate stopped at %d, want 3", got)
+	}
+	if esc, _, _ := ctl.counts(); esc != 3 {
+		t.Fatalf("escalations = %d, want 3", esc)
+	}
+	// Already fitting: no movement.
+	if got := ctl.escalate(always); got != 3 {
+		t.Fatalf("escalate moved a fitting level to %d", got)
+	}
+	// Nothing fits: walks to the ceiling (max) and stops.
+	if got := ctl.escalate(never); got != 5 {
+		t.Fatalf("escalate under never-fits stopped at %d, want max 5", got)
+	}
+}
+
+// TestControllerCalibrationPinsCeiling is the PR-2 edge-case table: a
+// calibration backtrack pins the ceiling one level down for a cooldown
+// window, so escalation cannot immediately re-enter the level that just
+// proved too uncertain; the ceiling releases only when the cooldown
+// expires.
+func TestControllerCalibrationPinsCeiling(t *testing.T) {
+	ctl := newController(5, 0, 2) // max 4, recoverAfter (cooldown) 2
+	ctl.escalate(func(level int) bool { return level >= 3 })
+
+	ctl.observe(true, false) // entropy crossed: backtrack 3 → 2
+	if ctl.Level() != 2 {
+		t.Fatalf("level after calibration = %d, want 2", ctl.Level())
+	}
+	if _, cal, _ := ctl.counts(); cal != 1 {
+		t.Fatalf("calibrations = %d, want 1", cal)
+	}
+
+	// Cooldown window, flush 1: the ceiling caps escalation at 2.
+	if got := ctl.escalate(never); got != 2 {
+		t.Fatalf("escalate during cooldown reached %d, want ceiling 2", got)
+	}
+	ctl.observe(false, false) // cooldown 2 → 1
+	if got := ctl.escalate(never); got != 2 {
+		t.Fatalf("escalate during cooldown reached %d, want ceiling 2", got)
+	}
+	ctl.observe(false, false) // cooldown 1 → 0: ceiling releases to max
+
+	if got := ctl.escalate(never); got != 4 {
+		t.Fatalf("escalate after cooldown reached %d, want max 4", got)
+	}
+}
+
+// TestControllerRecalibrationRestartsCooldown: a second entropy crossing
+// inside the cooldown window pins a still-lower ceiling and restarts the
+// window, rather than letting the original window release it early.
+func TestControllerRecalibrationRestartsCooldown(t *testing.T) {
+	ctl := newController(5, 0, 2)
+	ctl.escalate(func(level int) bool { return level >= 3 })
+	ctl.observe(true, false) // 3 → 2, ceiling 2, cooldown 2
+	ctl.observe(true, false) // 2 → 1, ceiling 1, cooldown restarts at 2
+	if ctl.Level() != 1 {
+		t.Fatalf("level = %d, want 1", ctl.Level())
+	}
+	if got := ctl.escalate(never); got != 1 {
+		t.Fatalf("escalate reached %d, want re-pinned ceiling 1", got)
+	}
+	ctl.observe(false, false) // cooldown 2 → 1
+	if got := ctl.escalate(never); got != 1 {
+		t.Fatalf("ceiling released one flush early (reached %d)", got)
+	}
+	ctl.observe(false, false) // cooldown 1 → 0
+	if got := ctl.escalate(never); got != 4 {
+		t.Fatalf("escalate after restarted cooldown reached %d, want 4", got)
+	}
+}
+
+func TestControllerCalibrationAtLevelZero(t *testing.T) {
+	ctl := newController(4, 0, 2)
+	for i := 0; i < 3; i++ {
+		ctl.observe(true, false)
+	}
+	if ctl.Level() != 0 {
+		t.Fatalf("level = %d, want 0", ctl.Level())
+	}
+	if _, cal, _ := ctl.counts(); cal != 0 {
+		t.Fatalf("level-0 crossings counted %d calibrations, want 0", cal)
+	}
+	// The un-backtrackable crossing must not leave a stale ceiling.
+	if got := ctl.escalate(never); got != 3 {
+		t.Fatalf("escalate reached %d, want max 3", got)
+	}
+}
+
+func TestControllerRecoveryStreak(t *testing.T) {
+	ctl := newController(6, 1, 3) // base 1, recoverAfter 3
+	ctl.escalate(func(level int) bool { return level >= 4 })
+
+	// Two comfortable batches, then a neutral one: streak resets.
+	ctl.observe(false, true)
+	ctl.observe(false, true)
+	ctl.observe(false, false)
+	if ctl.Level() != 4 {
+		t.Fatalf("level = %d after broken streak, want 4", ctl.Level())
+	}
+	// Three consecutive comfortable batches recover exactly one level.
+	for i := 0; i < 3; i++ {
+		ctl.observe(false, true)
+	}
+	if ctl.Level() != 3 {
+		t.Fatalf("level = %d after full streak, want 3", ctl.Level())
+	}
+	if _, _, rec := ctl.counts(); rec != 1 {
+		t.Fatalf("recoveries = %d, want 1", rec)
+	}
+	// Recovery walks toward base and stops there, never below.
+	for i := 0; i < 12; i++ {
+		ctl.observe(false, true)
+	}
+	if ctl.Level() != 1 {
+		t.Fatalf("level = %d after long comfort, want base 1", ctl.Level())
+	}
+}

@@ -194,13 +194,14 @@ func (e *PlanExecutor) planFor(batch int) (*compile.Plan, error) {
 // conv layers scaled by the level's keep fraction (perforation shrinks the
 // GEMM N dimension proportionally).
 func (e *PlanExecutor) PredictMS(level, batch int) float64 {
+	keeps := e.path[e.clamp(level)].Keeps
 	p, err := e.planFor(batch)
 	if err != nil {
-		// Fall back to the compiled plan's estimate; Execute will surface
-		// the error properly.
-		p = e.plan
+		// Rescale the compiled plan's fixed design point to this batch
+		// (Eq 12 with re-derived grids) instead of mispricing it with the
+		// compiled batch's estimate; Execute will surface the error.
+		return compile.PredictMS(e.plan, batch, keeps)
 	}
-	keeps := e.path[e.clamp(level)].Keeps
 	var ms float64
 	for _, l := range p.Layers {
 		frac := 1.0

@@ -3,6 +3,7 @@ package serve
 import (
 	"strconv"
 
+	"pcnn/internal/fault"
 	"pcnn/internal/obs"
 )
 
@@ -35,7 +36,7 @@ type serveMetrics struct {
 func newMetrics(reg *obs.Registry, s *Server) *serveMetrics {
 	reg.GaugeFunc("pcnn_serve_queue_depth",
 		"Requests accepted but not yet executed.",
-		func() float64 { return float64(s.queueDepth.Load()) })
+		func() float64 { return float64(s.st.queueDepth()) })
 	reg.GaugeFunc("pcnn_serve_inflight_batches",
 		"Batches flushed to the worker pool but not yet finished.",
 		func() float64 { return float64(s.inflight.Load()) })
@@ -82,6 +83,31 @@ func newMetrics(reg *obs.Registry, s *Server) *serveMetrics {
 	reg.CounterFunc("pcnn_serve_recoveries_total",
 		"Comfortable-slack recoveries easing the level back down.",
 		func() float64 { _, _, rec := s.ctrl.counts(); return float64(rec) })
+
+	reg.GaugeFunc("pcnn_serve_breaker_state",
+		"Circuit breaker position: 0 closed, 1 half-open, 2 open.",
+		func() float64 { st, _, _ := s.brk.snapshot(); return float64(st) })
+	reg.CounterFunc("pcnn_serve_breaker_trips_total",
+		"Circuit breaker trips (closed or half-open to open).",
+		func() float64 { _, trips, _ := s.brk.snapshot(); return float64(trips) })
+	reg.CounterFunc("pcnn_serve_breaker_resets_total",
+		"Circuit breaker resets (half-open probe success to closed).",
+		func() float64 { _, _, resets := s.brk.snapshot(); return float64(resets) })
+	reg.CounterFunc("pcnn_serve_retries_total",
+		"Batch execution attempts retried after a failure.",
+		s.st.counterFn(func(st *stats) uint64 { return st.retries }))
+	reg.CounterFunc("pcnn_serve_exec_timeouts_total",
+		"Batch execution attempts cut off by the per-attempt timeout.",
+		s.st.counterFn(func(st *stats) uint64 { return st.timeouts }))
+	if s.faults != nil {
+		for _, k := range fault.Kinds() {
+			k := k
+			reg.CounterFunc("pcnn_serve_injected_faults_total",
+				"Faults injected by the attached chaos injector, by kind.",
+				func() float64 { return float64(s.faults.Count(k)) },
+				obs.Label{Key: "kind", Value: k.String()})
+		}
+	}
 
 	m := &serveMetrics{stages: make(map[string]*obs.Histogram, len(traceStages))}
 	levels := s.ex.Levels()

@@ -24,11 +24,13 @@ import (
 	"context"
 	"errors"
 	"io"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"pcnn/internal/compile"
+	"pcnn/internal/fault"
 	"pcnn/internal/obs"
 	"pcnn/internal/satisfaction"
 	"pcnn/internal/tensor"
@@ -45,6 +47,12 @@ var (
 	// because the queue is at capacity (the only condition under which the
 	// server refuses work; deadline pressure degrades instead).
 	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrBreakerOpen fails a batch fast while the circuit breaker is open
+	// (or while another attempt holds the half-open probe slot).
+	ErrBreakerOpen = errors.New("serve: circuit breaker open")
+	// ErrExecTimeout fails a batch execution attempt that outran the
+	// configured per-attempt timeout.
+	ErrExecTimeout = errors.New("serve: execution timed out")
 )
 
 // Config tunes the online server. The zero value picks sensible defaults.
@@ -73,6 +81,33 @@ type Config struct {
 	// offline drains); 1 serves in simulated real time, which is what
 	// makes open-loop overload produce genuine queueing.
 	Pace float64
+	// ExecTimeoutMS bounds one batch execution attempt in wall-clock
+	// milliseconds; an attempt that outruns it fails with ErrExecTimeout.
+	// 0 disables the timeout.
+	ExecTimeoutMS float64
+	// MaxRetries is how many times a failed batch execution attempt is
+	// retried (with exponential backoff and jitter) before the batch's
+	// futures fail. 0 disables retries.
+	MaxRetries int
+	// RetryBaseMS is the backoff base: retry n sleeps RetryBaseMS·2ⁿ
+	// scaled by a uniform jitter in [0.5, 1.5). 0 means 1.
+	RetryBaseMS float64
+	// BreakerThreshold trips the per-executor circuit breaker open after
+	// this many consecutive failed execution attempts; while open, batches
+	// fail fast with ErrBreakerOpen until a half-open probe succeeds.
+	// 0 disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldownMS is how long an open breaker waits before admitting
+	// its half-open probe. 0 means 250.
+	BreakerCooldownMS float64
+	// Seed roots the retry-jitter stream, so chaos scenarios replay
+	// identically. 0 means 1.
+	Seed int64
+	// Faults attaches a fault injector to the serving pipeline (injected
+	// launch failures, slow batches, corrupted outputs, admission
+	// saturation, clock skew). nil — the production default — serves clean
+	// and adds nothing to the hot path.
+	Faults *fault.Injector
 }
 
 func (c Config) withDefaults(execMaxBatch int) Config {
@@ -93,6 +128,15 @@ func (c Config) withDefaults(execMaxBatch int) Config {
 	}
 	if c.LingerMS <= 0 {
 		c.LingerMS = 20
+	}
+	if c.RetryBaseMS <= 0 {
+		c.RetryBaseMS = 1
+	}
+	if c.BreakerCooldownMS <= 0 {
+		c.BreakerCooldownMS = 250
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
 	}
 	return c
 }
@@ -176,9 +220,17 @@ type Server struct {
 	batcherDone chan struct{}
 	workers     sync.WaitGroup
 
-	nextID     atomic.Uint64
-	inflight   atomic.Int64 // batches flushed but not yet executed
-	queueDepth atomic.Int64 // requests accepted but not yet executed
+	nextID   atomic.Uint64
+	inflight atomic.Int64 // batches flushed but not yet executed
+
+	// brk fail-fasts batch execution after consecutive failures; faults is
+	// the (possibly nil) chaos injector threaded through the pipeline.
+	brk    *breaker
+	faults *fault.Injector
+
+	// retryRng draws the deterministic backoff jitter; workers share it.
+	retryMu  sync.Mutex
+	retryRng *rand.Rand
 }
 
 // NewServer starts the batcher and worker pool for an executor serving a
@@ -202,6 +254,10 @@ func NewServer(ex Executor, task satisfaction.Task, cfg Config) (*Server, error)
 		submitCh:    make(chan *request, cfg.QueueCap),
 		flushCh:     make(chan *batchJob, cfg.Workers),
 		batcherDone: make(chan struct{}),
+		brk: newBreaker(cfg.BreakerThreshold,
+			time.Duration(cfg.BreakerCooldownMS*float64(time.Millisecond)), nil),
+		faults:   cfg.Faults,
+		retryRng: rand.New(rand.NewSource(cfg.Seed)),
 	}
 	s.met = newMetrics(s.reg, s)
 	go s.batcher()
@@ -235,7 +291,7 @@ func (s *Server) SubmitInput(input *tensor.Tensor) (*Future, error) {
 	id := s.nextID.Add(1)
 	r := &request{
 		id:    id,
-		at:    time.Now(),
+		at:    s.stamp(),
 		input: input,
 		fut:   &Future{ch: make(chan outcome, 1)},
 		tr:    obs.NewTrace(id),
@@ -245,18 +301,33 @@ func (s *Server) SubmitInput(input *tensor.Tensor) (*Future, error) {
 	if s.closed {
 		return nil, ErrServerClosed
 	}
+	if s.faults.Saturate() {
+		// Injected queue saturation: reject as if the queue were full.
+		s.st.rejectedInc()
+		return nil, ErrQueueFull
+	}
 	// Mark before the send: the channel hand-off transfers trace
 	// ownership to the batcher, so no mark may follow it here.
 	r.tr.Mark("submit")
 	select {
 	case s.submitCh <- r:
-		s.queueDepth.Add(1)
 		s.st.submittedInc()
 		return r.fut, nil
 	default:
 		s.st.rejectedInc()
 		return nil, ErrQueueFull
 	}
+}
+
+// stamp reads the wall clock, shifted by the injector's clock skew when
+// one is attached. Skewed timestamps exercise the negative-queue-time and
+// deadline edge cases real NTP steps produce.
+func (s *Server) stamp() time.Time {
+	t := time.Now()
+	if s.faults != nil {
+		t = t.Add(s.faults.Skew())
+	}
+	return t
 }
 
 // Close stops admission, drains every accepted request through the worker
@@ -285,11 +356,78 @@ func (s *Server) Close(ctx context.Context) error {
 	}
 }
 
-// Stats returns a point-in-time snapshot of the serving metrics.
+// Stats returns a point-in-time snapshot of the serving metrics. The
+// admission counters are read under one lock, so the conservation
+// invariant Submitted == Completed + Failed + QueueDepth holds exactly in
+// every snapshot, concurrent traffic included.
 func (s *Server) Stats() Snapshot {
 	esc, cal, rec := s.ctrl.counts()
-	return s.st.snapshot(s.task, s.ctrl.Level(), int(s.queueDepth.Load()), esc, cal, rec)
+	st, trips, resets := s.brk.snapshot()
+	return s.st.snapshot(s.task, s.ctrl.Level(), esc, cal, rec, st, trips, resets)
 }
+
+// BreakerState returns the circuit breaker's current position (closed
+// when no breaker is configured).
+func (s *Server) BreakerState() BreakerState {
+	st, _, _ := s.brk.snapshot()
+	return st
+}
+
+// Health is the liveness/degradation view /healthz serves.
+type Health struct {
+	// Status is "ok", "degraded" (breaker not closed, or serving above the
+	// base perforation level) or "closed" (draining/terminated).
+	Status string `json:"status"`
+	// Degraded mirrors Status != "ok" for programmatic checks.
+	Degraded bool `json:"degraded"`
+	// Breaker is the circuit breaker position: closed, half-open or open.
+	Breaker string `json:"breaker"`
+	// Level / BaseLevel are the current and preferred perforation levels.
+	Level     int `json:"level"`
+	BaseLevel int `json:"base_level"`
+	// QueueDepth is how many accepted requests await execution.
+	QueueDepth int `json:"queue_depth"`
+	// Reasons lists why the server is not "ok"; empty when healthy.
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// Health reports the server's degradation state: healthy, degraded (with
+// reasons), or closed.
+func (s *Server) Health() Health {
+	st, _, _ := s.brk.snapshot()
+	h := Health{
+		Breaker:    st.String(),
+		Level:      s.ctrl.Level(),
+		BaseLevel:  s.ctrl.Base(),
+		QueueDepth: s.st.queueDepth(),
+	}
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	switch {
+	case closed:
+		h.Status = "closed"
+		h.Degraded = true
+		h.Reasons = append(h.Reasons, "server closed")
+	default:
+		h.Status = "ok"
+		if st != BreakerClosed {
+			h.Reasons = append(h.Reasons, "circuit breaker "+st.String())
+		}
+		if h.Level > h.BaseLevel {
+			h.Reasons = append(h.Reasons, "serving above base perforation level")
+		}
+		if len(h.Reasons) > 0 {
+			h.Status = "degraded"
+			h.Degraded = true
+		}
+	}
+	return h
+}
+
+// FaultCounts returns the attached injector's per-kind injection tallies
+// (all zero when serving clean).
+func (s *Server) FaultCounts() fault.Counts { return s.faults.Counts() }
 
 // Task returns the task this server was deployed for.
 func (s *Server) Task() satisfaction.Task { return s.task }

@@ -34,6 +34,13 @@ type stats struct {
 	batchSum  uint64
 	missed    uint64
 	demoted   uint64 // batches demoted to simulation-only by gatherInputs
+	retries   uint64 // batch execution attempts retried after a failure
+	timeouts  uint64 // attempts cut off by the per-attempt timeout
+	// inQueue counts requests accepted but not yet resolved. It moves
+	// under the same mutex as submitted/completed/failed, so snapshots
+	// satisfy submitted == completed + failed + inQueue exactly — the
+	// conservation invariant the chaos soak test asserts at every sample.
+	inQueue uint64
 
 	energyJ    float64
 	socSum     float64
@@ -58,7 +65,29 @@ func newStatsClock(now func() time.Time) *stats {
 func (s *stats) submittedInc() {
 	s.mu.Lock()
 	s.submitted++
+	s.inQueue++
 	s.mu.Unlock()
+}
+
+// retryInc counts one retried execution attempt.
+func (s *stats) retryInc() {
+	s.mu.Lock()
+	s.retries++
+	s.mu.Unlock()
+}
+
+// timeoutInc counts one attempt killed by the execution timeout.
+func (s *stats) timeoutInc() {
+	s.mu.Lock()
+	s.timeouts++
+	s.mu.Unlock()
+}
+
+// queueDepth reads the accepted-but-unresolved request count.
+func (s *stats) queueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int(s.inQueue)
 }
 
 func (s *stats) rejectedInc() {
@@ -80,6 +109,9 @@ func (s *stats) record(r Result) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.completed++
+	if s.inQueue > 0 {
+		s.inQueue--
+	}
 	s.win.Add(1)
 	if !r.DeadlineMet {
 		s.missed++
@@ -107,6 +139,11 @@ func (s *stats) batchDone(n int) {
 func (s *stats) failBatch(n int) {
 	s.mu.Lock()
 	s.failed += uint64(n)
+	if s.inQueue >= uint64(n) {
+		s.inQueue -= uint64(n)
+	} else {
+		s.inQueue = 0
+	}
 	s.mu.Unlock()
 }
 
@@ -175,10 +212,21 @@ type Snapshot struct {
 	Escalations  uint64 `json:"escalations"`
 	Calibrations uint64 `json:"calibrations"`
 	Recoveries   uint64 `json:"recoveries"`
+
+	// Hardening counters: execution retries, per-attempt timeouts, and
+	// the circuit breaker's state and lifetime transitions.
+	Retries       uint64 `json:"retries"`
+	ExecTimeouts  uint64 `json:"exec_timeouts"`
+	BreakerState  string `json:"breaker_state"`
+	BreakerTrips  uint64 `json:"breaker_trips"`
+	BreakerResets uint64 `json:"breaker_resets"`
 }
 
-// snapshot assembles the exported view.
-func (s *stats) snapshot(task satisfaction.Task, level, queueDepth int, esc, cal, rec uint64) Snapshot {
+// snapshot assembles the exported view. QueueDepth comes from the
+// mutex-guarded inQueue tally, so Submitted == Completed + Failed +
+// QueueDepth holds in every snapshot.
+func (s *stats) snapshot(task satisfaction.Task, level int, esc, cal, rec uint64,
+	brkState BreakerState, trips, resets uint64) Snapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	snap := Snapshot{
@@ -191,10 +239,15 @@ func (s *stats) snapshot(task satisfaction.Task, level, queueDepth int, esc, cal
 		Batches:        s.batches,
 		DemotedBatches: s.demoted,
 		Level:          level,
-		QueueDepth:     queueDepth,
+		QueueDepth:     int(s.inQueue),
 		Escalations:    esc,
 		Calibrations:   cal,
 		Recoveries:     rec,
+		Retries:        s.retries,
+		ExecTimeouts:   s.timeouts,
+		BreakerState:   brkState.String(),
+		BreakerTrips:   trips,
+		BreakerResets:  resets,
 	}
 	if s.batches > 0 {
 		snap.MeanBatch = float64(s.batchSum) / float64(s.batches)

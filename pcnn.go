@@ -22,6 +22,7 @@ import (
 	"io"
 	"pcnn/internal/compile"
 	"pcnn/internal/core"
+	"pcnn/internal/fault"
 	"pcnn/internal/gpu"
 	"pcnn/internal/nn"
 	"pcnn/internal/obs"
@@ -93,6 +94,20 @@ type (
 	EventLog = obs.EventLog
 	// DecisionEvent is one recorded decision in an EventLog.
 	DecisionEvent = obs.Event
+	// FaultSpec declares a seeded fault-injection scenario (rates per
+	// kind, slow factor, corruption nats, clock-skew bound). The zero
+	// value injects nothing; see ParseFaultSpec for the flag grammar.
+	FaultSpec = fault.Spec
+	// FaultInjector draws deterministic faults from a FaultSpec; attach
+	// one via ServeConfig.Faults. A nil injector is the disabled state.
+	FaultInjector = fault.Injector
+	// FaultCounts tallies injected faults per kind (Server.FaultCounts).
+	FaultCounts = fault.Counts
+	// ServeHealth is the degradation view behind /healthz (Server.Health).
+	ServeHealth = serve.Health
+	// LaunchError is the typed kernel-launch failure the GPU layer and the
+	// serving executor surface; Injected marks chaos-injected failures.
+	LaunchError = gpu.LaunchError
 )
 
 // NewEventLog builds a decision-event ring holding the most recent n
@@ -105,7 +120,28 @@ var (
 	ErrServerClosed = serve.ErrServerClosed
 	// ErrQueueFull is returned when admission control rejects a request.
 	ErrQueueFull = serve.ErrQueueFull
+	// ErrBreakerOpen fails a batch fast while the circuit breaker is open.
+	ErrBreakerOpen = serve.ErrBreakerOpen
+	// ErrExecTimeout fails a batch attempt that outran the execution
+	// timeout.
+	ErrExecTimeout = serve.ErrExecTimeout
+	// ErrFaultInjected is the sentinel cause of injected failures
+	// (errors.Is distinguishes chaos from genuine simulator errors).
+	ErrFaultInjected = fault.ErrInjected
 )
+
+// ParseFaultSpec parses the -fault-spec grammar, comma-separated
+// key=value terms:
+//
+//	seed=42,launch=0.05,slow=0.1,slowx=4,corrupt=0.02,nats=2,sat=0.01,skew=2.5
+//
+// The empty string is the disabled spec.
+func ParseFaultSpec(s string) (FaultSpec, error) { return fault.ParseSpec(s) }
+
+// NewFaultInjector builds an injector for a spec — nil (and no error)
+// when the spec injects nothing, which is directly usable as the
+// disabled state.
+func NewFaultInjector(spec FaultSpec) (*FaultInjector, error) { return fault.New(spec) }
 
 // Task classes.
 const (
