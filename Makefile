@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test test-short race bench bench-serve fuzz fuzz-predict chaos serve-smoke
+.PHONY: ci vet build test test-short race bench bench-gemm bench-serve fuzz fuzz-blocked fuzz-predict chaos serve-smoke
 
 # ci is the gate every change must pass: static checks, full build, the
 # tier-1 test suite, and the race detector over the packages that own the
@@ -24,10 +24,21 @@ race:
 
 # bench reproduces the numbers recorded in BENCH_gemm.json.
 bench:
-	$(GO) test -run='^$$' -bench='GEMM|Backend' -benchmem ./internal/tensor/ ./internal/nn/
+	$(GO) test -run='^$$' -bench='GEMM|Backend|Conv1x1|Im2col' -benchmem ./internal/tensor/ ./internal/nn/
+
+# bench-gemm reproduces the naive-vs-blocked pairs recorded in
+# BENCH_gemm.json (single-threaded; the acceptance shape is VGG_conv2_1).
+bench-gemm:
+	$(GO) test -run='^$$' -bench='GEMMSerial|GEMMBlocked' -benchmem -benchtime=5x ./internal/tensor/
 
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzMatMulShapes -fuzztime=30s ./internal/tensor/
+
+# fuzz-blocked drives random shapes through the blocked backend against
+# the naive kernels; the committed seed corpus under
+# internal/tensor/testdata runs as part of `test`.
+fuzz-blocked:
+	$(GO) test -run='^$$' -fuzz=FuzzBlockedVsNaive -fuzztime=30s ./internal/tensor/
 
 # fuzz-predict hammers the Eq 12 time model's monotonicity and anchor
 # properties (the committed seed corpus runs as part of `test`).

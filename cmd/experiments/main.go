@@ -33,7 +33,7 @@ func main() {
 		seed   = flag.Int64("seed", 1, "lab dataset seed")
 		// Serial and parallel GEMM execution are bit-for-bit identical, so
 		// the backend never changes a summary — only how fast it appears.
-		backend = flag.String("backend", "", "host GEMM backend: auto, serial or parallel (default $PCNN_GEMM_BACKEND or auto)")
+		backend = flag.String("backend", "", "host GEMM backend: auto, serial, parallel or blocked (default $PCNN_GEMM_BACKEND or auto)")
 	)
 	flag.Parse()
 

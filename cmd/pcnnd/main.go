@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"pcnn"
+	"pcnn/internal/tensor"
 	"pcnn/internal/workload"
 )
 
@@ -64,6 +65,8 @@ func main() {
 		smoke    = flag.Bool("smoke", false, "exit nonzero unless zero loss and positive SoC")
 		tune     = flag.Bool("tune", false, "train the scaled analogue and attach the accuracy tuner (slow)")
 		seed     = flag.Int64("seed", 1, "load generator seed")
+		backend  = flag.String("backend", "",
+			"host GEMM backend: auto, serial, parallel or blocked (default $PCNN_GEMM_BACKEND or auto)")
 
 		faultSpec = flag.String("fault-spec", "",
 			"seeded fault injection, e.g. seed=42,launch=0.05,slow=0.1,slowx=4,corrupt=0.02,sat=0.01,skew=2.5")
@@ -73,6 +76,14 @@ func main() {
 		breakerCD = flag.Float64("breaker-cooldown-ms", 0, "open-breaker cooldown before the half-open probe (0 = 250)")
 	)
 	flag.Parse()
+
+	if *backend != "" {
+		b, err := tensor.ParseBackend(*backend)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tensor.Default().SetBackend(b)
+	}
 
 	task, err := taskByName(*taskName, *fps)
 	if err != nil {

@@ -22,6 +22,64 @@ func BenchmarkConvForward(b *testing.B) {
 	}
 }
 
+// BenchmarkConv1x1Forward measures the pointwise-convolution fast path
+// (GoogLeNet-style reduction layer) against the generic im2col lowering
+// of the same geometry.
+func BenchmarkConv1x1Forward(b *testing.B) {
+	for _, fast := range []bool{true, false} {
+		name := "fast"
+		if !fast {
+			name = "im2col"
+		}
+		b.Run(name, func(b *testing.B) {
+			defer func() { conv1x1Fast = true }()
+			conv1x1Fast = fast
+			rng := rand.New(rand.NewSource(1))
+			conv := NewConv("b", 64, 28, 28, 32, 1, 1, 0, rng)
+			// The blocked backend shrinks the GEMM share enough for the
+			// lowering cost to show.
+			conv.SetEngine(tensor.NewEngine(tensor.Blocked, 1))
+			x := tensor.New(4, 64, 28, 28)
+			for i := range x.Data {
+				x.Data[i] = rng.Float32()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				conv.Forward(x, false)
+			}
+		})
+	}
+}
+
+// BenchmarkIm2col measures the column-matrix lowering alone at a VGG-ish
+// geometry, for both the contiguous stride-1 path and the strided path.
+func BenchmarkIm2col(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const c, h, w = 64, 56, 56
+	x := make([]float32, c*h*w)
+	for i := range x {
+		x[i] = rng.Float32()
+	}
+	for _, cfg := range []struct {
+		name           string
+		k, stride, pad int
+	}{
+		{"k3s1p1", 3, 1, 1},
+		{"k3s2p1", 3, 2, 1},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			ho := (h+2*cfg.pad-cfg.k)/cfg.stride + 1
+			wo := (w+2*cfg.pad-cfg.k)/cfg.stride + 1
+			dst := make([]float32, c*cfg.k*cfg.k*ho*wo)
+			b.SetBytes(int64(len(dst)) * 4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				im2colInto(dst, x, c, h, w, cfg.k, cfg.stride, cfg.pad, nil, ho, wo)
+			}
+		})
+	}
+}
+
 // BenchmarkConvForwardPerforated measures the same convolution at half
 // keep — the payoff run-time tuning banks on.
 func BenchmarkConvForwardPerforated(b *testing.B) {

@@ -41,6 +41,11 @@ type Conv struct {
 	dcols *tensor.Tensor
 }
 
+// conv1x1Fast gates the 1×1 stride-1 unpadded fast path in Forward;
+// tests flip it to prove the path is bit-identical to the generic
+// im2col lowering.
+var conv1x1Fast = true
+
 // NewConv creates a convolutional layer with He-initialized weights.
 func NewConv(name string, inC, inH, inW, outC, k, stride, pad int, rng *rand.Rand) *Conv {
 	c := &Conv{
@@ -138,12 +143,17 @@ func (c *Conv) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 
 	eng := c.engine()
+	// A 1×1 stride-1 unpadded convolution's column matrix IS the input
+	// plane (fanIn = inC rows of ho·wo values, in row-major order), so the
+	// GEMM can read the input directly instead of copying it through
+	// im2col. Perforation still needs the sampled column matrix.
+	fast1x1 := conv1x1Fast && c.k == 1 && c.stride == 1 && c.pad == 0 && !perforated
 	// The GEMM shapes are identical for every sample in the batch, so the
 	// column matrix (at inference; training caches it) and the GEMM output
 	// come from the scratch pool and are reused across the loop.
 	var colsScratch *tensor.Tensor
 	var releaseCols func()
-	if !train {
+	if !train && !fast1x1 {
 		colsScratch, releaseCols = tensor.NewScratch(fanIn, nPos)
 		defer releaseCols()
 	}
@@ -152,12 +162,22 @@ func (c *Conv) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 	for i := 0; i < n; i++ {
 		xi := x.Data[i*planeIn : (i+1)*planeIn]
-		cols := colsScratch
-		if train {
+		var cols *tensor.Tensor
+		switch {
+		case fast1x1:
+			cols = tensor.FromSlice(xi, fanIn, nPos)
+		case train:
 			cols = tensor.New(fanIn, nPos)
+			im2colInto(cols.Data, xi, c.inC, c.inH, c.inW, c.k, c.stride, c.pad, positions, ho, wo)
+		default:
+			cols = colsScratch
+			im2colInto(cols.Data, xi, c.inC, c.inH, c.inW, c.k, c.stride, c.pad, positions, ho, wo)
+		}
+		if train {
+			// Backward only reads lastCols, so the 1×1 path may cache the
+			// input-aliasing view without copying.
 			c.lastCols[i] = cols
 		}
-		im2colInto(cols.Data, xi, c.inC, c.inH, c.inW, c.k, c.stride, c.pad, positions, ho, wo)
 		eng.MatMulInto(res, c.weight.W, cols) // outC × nPos
 		oi := out.Data[i*c.outC*planeOut : (i+1)*c.outC*planeOut]
 		if perforated {

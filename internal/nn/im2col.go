@@ -11,21 +11,81 @@ import "pcnn/internal/tensor"
 // the ho×wo grid produces the perforated data matrix instead — the GEMM's
 // N dimension shrinks to Wo′·Ho′.
 func im2colInto(dst, x []float32, c, h, w, k, stride, pad int, positions []int, ho, wo int) {
-	nPos := ho * wo
 	if positions != nil {
-		nPos = len(positions)
+		im2colSampledInto(dst, x, c, h, w, k, stride, pad, positions, wo)
+		return
 	}
+	nPos := ho * wo
 	row := 0
 	for ci := 0; ci < c; ci++ {
 		plane := x[ci*h*w : (ci+1)*h*w]
 		for ky := 0; ky < k; ky++ {
 			for kx := 0; kx < k; kx++ {
 				out := dst[row*nPos : (row+1)*nPos]
-				for p := 0; p < nPos; p++ {
-					pos := p
-					if positions != nil {
-						pos = positions[p]
+				if stride == 1 {
+					// Output row oy reads input row iy shifted by kx-pad:
+					// columns [lo, hi) come from a contiguous copy, the rest
+					// is padding. No per-element bounds work.
+					shift := kx - pad
+					lo, hi := 0, wo
+					if -shift > lo {
+						lo = -shift
 					}
+					if w-shift < hi {
+						hi = w - shift
+					}
+					if hi < lo {
+						hi = lo
+					}
+					for oy := 0; oy < ho; oy++ {
+						orow := out[oy*wo : (oy+1)*wo]
+						iy := oy - pad + ky
+						if iy < 0 || iy >= h {
+							zero32(orow)
+							continue
+						}
+						zero32(orow[:lo])
+						copy(orow[lo:hi], plane[iy*w+shift+lo:iy*w+shift+hi])
+						zero32(orow[hi:])
+					}
+				} else {
+					for oy := 0; oy < ho; oy++ {
+						orow := out[oy*wo : (oy+1)*wo]
+						iy := oy*stride - pad + ky
+						if iy < 0 || iy >= h {
+							zero32(orow)
+							continue
+						}
+						irow := plane[iy*w : (iy+1)*w]
+						ix := kx - pad
+						for ox := range orow {
+							if ix >= 0 && ix < w {
+								orow[ox] = irow[ix]
+							} else {
+								orow[ox] = 0
+							}
+							ix += stride
+						}
+					}
+				}
+				row++
+			}
+		}
+	}
+}
+
+// im2colSampledInto is the perforated form: one column per sampled output
+// position, which keeps the per-position index arithmetic the dense paths
+// above avoid.
+func im2colSampledInto(dst, x []float32, c, h, w, k, stride, pad int, positions []int, wo int) {
+	nPos := len(positions)
+	row := 0
+	for ci := 0; ci < c; ci++ {
+		plane := x[ci*h*w : (ci+1)*h*w]
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				out := dst[row*nPos : (row+1)*nPos]
+				for p, pos := range positions {
 					oy, ox := pos/wo, pos%wo
 					iy := oy*stride - pad + ky
 					ix := ox*stride - pad + kx
@@ -38,6 +98,12 @@ func im2colInto(dst, x []float32, c, h, w, k, stride, pad int, positions []int, 
 				row++
 			}
 		}
+	}
+}
+
+func zero32(s []float32) {
+	for i := range s {
+		s[i] = 0
 	}
 }
 

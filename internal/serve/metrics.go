@@ -5,6 +5,7 @@ import (
 
 	"pcnn/internal/fault"
 	"pcnn/internal/obs"
+	"pcnn/internal/tensor"
 )
 
 // Bucket layouts for the serving histograms. Response and stage times are
@@ -99,6 +100,39 @@ func newMetrics(reg *obs.Registry, s *Server) *serveMetrics {
 	reg.CounterFunc("pcnn_serve_exec_timeouts_total",
 		"Batch execution attempts cut off by the per-attempt timeout.",
 		s.st.counterFn(func(st *stats) uint64 { return st.timeouts }))
+	// Host GEMM engine state: which backend serves the layer GEMMs and the
+	// blocked tile that most recently ran — the host-side half of the
+	// paper's per-layer kernel choice, surfaced so a deployment dashboard
+	// can see which kernel actually handles traffic.
+	eng := tensor.Default()
+	for _, bk := range []tensor.Backend{tensor.Auto, tensor.Serial, tensor.Parallel, tensor.Blocked} {
+		bk := bk
+		reg.GaugeFunc("pcnn_gemm_backend_active",
+			"1 for the default engine's selected GEMM backend, 0 for the others.",
+			func() float64 {
+				if eng.Backend() == bk {
+					return 1
+				}
+				return 0
+			},
+			obs.Label{Key: "backend", Value: bk.String()})
+	}
+	reg.GaugeFunc("pcnn_gemm_workers",
+		"Worker-pool size available to the default GEMM engine.",
+		func() float64 { return float64(eng.Workers()) })
+	reg.GaugeFunc("pcnn_gemm_tile_mc",
+		"Blocked-backend cache tile: A-block rows (MC) of the last tile used.",
+		func() float64 { return float64(eng.ActiveTile().MC) })
+	reg.GaugeFunc("pcnn_gemm_tile_kc",
+		"Blocked-backend cache tile: block depth (KC) of the last tile used.",
+		func() float64 { return float64(eng.ActiveTile().KC) })
+	reg.GaugeFunc("pcnn_gemm_tile_mr",
+		"Blocked-backend register tile rows (MR) of the last tile used.",
+		func() float64 { return float64(eng.ActiveTile().MR) })
+	reg.GaugeFunc("pcnn_gemm_tile_nr",
+		"Blocked-backend register tile columns (NR) of the last tile used.",
+		func() float64 { return float64(eng.ActiveTile().NR) })
+
 	if s.faults != nil {
 		for _, k := range fault.Kinds() {
 			k := k

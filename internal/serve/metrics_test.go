@@ -62,6 +62,14 @@ func TestMetricsExposition(t *testing.T) {
 		"pcnn_serve_throughput_rps",
 		"pcnn_serve_lifetime_rps",
 		"pcnn_serve_level",
+		"# TYPE pcnn_gemm_backend_active gauge",
+		`pcnn_gemm_backend_active{backend="blocked"}`,
+		`pcnn_gemm_backend_active{backend="serial"}`,
+		"pcnn_gemm_workers",
+		"pcnn_gemm_tile_mc",
+		"pcnn_gemm_tile_kc",
+		"pcnn_gemm_tile_mr",
+		"pcnn_gemm_tile_nr",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q", want)

@@ -1,0 +1,165 @@
+package tensor
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// resetTuner swaps the process-wide tile cache for an empty, unpersisted
+// one and restores the original on cleanup, so tuner tests cannot leak
+// probed winners into each other or into production defaults.
+func resetTuner(t *testing.T) {
+	t.Helper()
+	globalTuner.mu.Lock()
+	oldCache, oldPath := globalTuner.cache, globalTuner.path
+	globalTuner.cache = map[ShapeClass]TileConfig{}
+	globalTuner.path = ""
+	globalTuner.mu.Unlock()
+	t.Cleanup(func() {
+		globalTuner.mu.Lock()
+		globalTuner.cache, globalTuner.path = oldCache, oldPath
+		globalTuner.mu.Unlock()
+	})
+}
+
+func TestClassifyShape(t *testing.T) {
+	cases := []struct {
+		m, k, n, workers int
+		want             ShapeClass
+	}{
+		{1, 1, 1, 1, ShapeClass{1, 1, 1, 1}},
+		{64, 4608, 3025, 1, ShapeClass{64, 8192, 4096, 1}},
+		{65, 128, 129, 4, ShapeClass{128, 128, 256, 4}},
+		{2, 3, 5, 2, ShapeClass{2, 4, 8, 2}},
+	}
+	for _, c := range cases {
+		if got := ClassifyShape(c.m, c.k, c.n, c.workers); got != c.want {
+			t.Errorf("ClassifyShape(%d,%d,%d,%d) = %v, want %v", c.m, c.k, c.n, c.workers, got, c.want)
+		}
+	}
+}
+
+func TestTuneShapeCachesPerClass(t *testing.T) {
+	resetTuner(t)
+	e := NewEngine(Blocked, 1)
+	first := e.TuneShape(33, 40, 50)
+	if err := first.Validate(); err != nil {
+		t.Fatalf("TuneShape returned invalid tile %v: %v", first, err)
+	}
+	// Same class (pow2 ceilings 64/64/64) must hit the cache, including
+	// from a different concrete shape.
+	if again := e.TuneShape(40, 60, 34); again != first {
+		t.Fatalf("same-class TuneShape = %v, want cached %v", again, first)
+	}
+	globalTuner.mu.Lock()
+	entries := len(globalTuner.cache)
+	globalTuner.mu.Unlock()
+	if entries != 1 {
+		t.Fatalf("cache has %d entries after two same-class probes, want 1", entries)
+	}
+}
+
+func TestAutotuneServesBlockedGEMM(t *testing.T) {
+	resetTuner(t)
+	rng := rand.New(rand.NewSource(3))
+	e := NewEngine(Blocked, 1)
+	e.SetAutotune(true)
+	if !e.Autotune() {
+		t.Fatal("SetAutotune(true) not observed")
+	}
+	a, b := randTensor(rng, 20, 30), randTensor(rng, 30, 25)
+	c := New(20, 25)
+	e.MatMulInto(c, a, b)
+
+	want := MatMul(a, b)
+	for i := range c.Data {
+		if !relClose(c.Data[i], want.Data[i], 1e-4) {
+			t.Fatalf("autotuned GEMM elem %d: got %g, want %g", i, c.Data[i], want.Data[i])
+		}
+	}
+	cl := ClassifyShape(20, 30, 25, e.Workers())
+	cached, ok := globalTuner.lookup(cl)
+	if !ok {
+		t.Fatalf("autotuned GEMM left no cache entry for %v", cl)
+	}
+	if at := e.ActiveTile(); at != cached {
+		t.Fatalf("ActiveTile() = %v, want probed winner %v", at, cached)
+	}
+}
+
+func TestTuneCachePersistAndReload(t *testing.T) {
+	resetTuner(t)
+	path := filepath.Join(t.TempDir(), "tiles.json")
+	if err := SetTuneCachePath(path); err != nil {
+		t.Fatalf("SetTuneCachePath: %v", err)
+	}
+	e := NewEngine(Blocked, 1)
+	won := e.TuneShape(24, 32, 40)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("probe did not persist cache: %v", err)
+	}
+	var f tileCacheFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("persisted cache is not valid JSON: %v", err)
+	}
+	if len(f.Entries) != 1 {
+		t.Fatalf("persisted %d entries, want 1", len(f.Entries))
+	}
+
+	// A cold process (empty in-memory cache) must recover the winner from
+	// the file instead of re-probing.
+	globalTuner.mu.Lock()
+	globalTuner.cache = map[ShapeClass]TileConfig{}
+	globalTuner.mu.Unlock()
+	if err := SetTuneCachePath(path); err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	cl := ClassifyShape(24, 32, 40, e.Workers())
+	got, ok := globalTuner.lookup(cl)
+	if !ok || got != won {
+		t.Fatalf("reloaded lookup = %v (hit=%v), want %v", got, ok, won)
+	}
+}
+
+func TestTuneCacheSkipsInvalidEntries(t *testing.T) {
+	resetTuner(t)
+	path := filepath.Join(t.TempDir(), "tiles.json")
+	f := tileCacheFile{Version: 1, Entries: []tileCacheEntry{
+		{M: 64, K: 64, N: 64, Workers: 1, MC: 128, KC: 256, MR: 3, NR: 5}, // no 3x5 kernel
+		{M: 128, K: 128, N: 128, Workers: 1, MC: 128, KC: 256, MR: 4, NR: 4},
+	}}
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := SetTuneCachePath(path); err != nil {
+		t.Fatalf("SetTuneCachePath: %v", err)
+	}
+	if _, ok := globalTuner.lookup(ShapeClass{M: 64, K: 64, N: 64, Workers: 1}); ok {
+		t.Error("invalid 3x5 entry was loaded")
+	}
+	got, ok := globalTuner.lookup(ShapeClass{M: 128, K: 128, N: 128, Workers: 1})
+	want := TileConfig{MC: 128, KC: 256, MR: 4, NR: 4}
+	if !ok || got != want {
+		t.Errorf("valid entry lookup = %v (hit=%v), want %v", got, ok, want)
+	}
+}
+
+func TestTuneCacheRejectsGarbage(t *testing.T) {
+	resetTuner(t)
+	path := filepath.Join(t.TempDir(), "tiles.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := SetTuneCachePath(path); err == nil {
+		t.Fatal("SetTuneCachePath accepted garbage JSON")
+	}
+}

@@ -40,6 +40,18 @@ func BenchmarkGEMMSerial(b *testing.B) {
 	}
 }
 
+// BenchmarkGEMMBlocked runs the cache-blocked packed backend serially on
+// the recorded shapes with the host default tile — the acceptance
+// comparison against BenchmarkGEMMSerial in BENCH_gemm.json.
+func BenchmarkGEMMBlocked(b *testing.B) {
+	eng := NewEngine(Blocked, 1)
+	b.Run(fmt.Sprintf("tile=%s", eng.Tile()), func(b *testing.B) {
+		for _, s := range gemmShapes {
+			b.Run(s.name, func(b *testing.B) { benchGEMM(b, eng, s.m, s.k, s.n) })
+		}
+	})
+}
+
 func BenchmarkGEMMParallel(b *testing.B) {
 	eng := NewEngine(Parallel, 0) // shared pool, sized by GOMAXPROCS
 	b.Run(fmt.Sprintf("workers=%d", eng.Workers()), func(b *testing.B) {

@@ -1,0 +1,648 @@
+package tensor
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// The blocked backend is the host-side mirror of the paper's per-layer
+// SGEMM tile tuning (Section IV.B): a BLIS/Goto-style cache-blocked GEMM.
+// A is packed into MC×KC row blocks laid out as MR-row panels, B into
+// KC-deep panels of NR columns, and an MR×NR register-accumulating
+// micro-kernel sweeps the packed panels. The loop nest is
+//
+//	for pc over K in KC steps:          (sequential — fixes accumulation order)
+//	    pack B[pc:pc+KC, :] into NR panels
+//	    for ic over M in MC steps:      (sharded across the worker pool)
+//	        pack A[ic:ic+MC, pc:pc+KC] into MR panels
+//	        for jr over N in NR steps:
+//	            for ir over MC in MR steps:
+//	                C[ic+ir.., jr..] ?= micro-kernel(Ap, Bp)
+//
+// Because the K loop is outermost and runs sequentially (a pool barrier per
+// KC step), every output micro-tile receives its KC-panel contributions in
+// ascending pc order no matter how the MC blocks are sharded — which is
+// what makes blocked-serial and blocked-parallel bit-for-bit identical,
+// the same guarantee the row-sharded naive backend gives. Relative to the
+// naive kernel the accumulation *tree* differs (per-panel register sums
+// are added to C once per KC step), so naive-vs-blocked agreement is
+// tolerance-based, not exact.
+
+// TileConfig is one blocked-GEMM cache/register tiling: MC×KC A blocks,
+// and an MR×NR micro-kernel (MR, NR must name a built-in kernel, see
+// MicroKernels). It is the host analogue of the paper's per-layer
+// (tile, regs) kernel choice.
+type TileConfig struct {
+	MC int // A block rows (shard unit; sized for L2 residency)
+	KC int // A/B block depth (sized so a KC×NR B panel stays in L1)
+	MR int // micro-kernel rows held in registers
+	NR int // micro-kernel columns held in registers
+}
+
+// maxMR/maxNR bound the micro-kernel register tile; the edge-tile scratch
+// buffer is sized by them.
+const (
+	maxMR = 8
+	maxNR = 8
+)
+
+// DefaultTile is the tile used when neither the autotuner nor an explicit
+// SetTile has chosen one. Chosen by sweeping the candidate grid on the
+// recorded BENCH_gemm layer shapes: MC×KC = 128×256 (128 KiB of packed A)
+// sits in L2 on both hosts probed, 8×4 is the widest tile whose scalar
+// accumulators stay in registers, and hosts with the AVX2+FMA kernel
+// switch to the 8×8 SIMD tile at init (kern8x8_amd64.go).
+var DefaultTile = TileConfig{MC: 128, KC: 256, MR: 8, NR: 4}
+
+// String renders the tile in the MCxKCxMRxNR form ParseTile accepts.
+func (t TileConfig) String() string {
+	return fmt.Sprintf("%dx%dx%dx%d", t.MC, t.KC, t.MR, t.NR)
+}
+
+// Validate reports whether the tile is usable: positive cache blocks no
+// smaller than the register tile, and an MR×NR pairing with a built-in
+// micro-kernel.
+func (t TileConfig) Validate() error {
+	if kernelFor(t.MR, t.NR) == nil {
+		return fmt.Errorf("tensor: no %dx%d micro-kernel (have %s)", t.MR, t.NR, microKernelNames())
+	}
+	if t.MC < t.MR || t.KC < 1 {
+		return fmt.Errorf("tensor: invalid tile %s: need MC >= MR and KC >= 1", t)
+	}
+	return nil
+}
+
+// ParseTile parses the MCxKCxMRxNR form, e.g. "128x256x8x4".
+func ParseTile(s string) (TileConfig, error) {
+	parts := strings.Split(strings.TrimSpace(strings.ToLower(s)), "x")
+	if len(parts) != 4 {
+		return TileConfig{}, fmt.Errorf("tensor: tile %q not of the form MCxKCxMRxNR", s)
+	}
+	var v [4]int
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return TileConfig{}, fmt.Errorf("tensor: tile %q: %v", s, err)
+		}
+		v[i] = n
+	}
+	t := TileConfig{MC: v[0], KC: v[1], MR: v[2], NR: v[3]}
+	if err := t.Validate(); err != nil {
+		return TileConfig{}, err
+	}
+	return t, nil
+}
+
+// microKernel computes one MR×NR tile: C[0:MR, 0:NR] (at stride ldc)
+// gets the packed-panel product, stored when first is true and
+// accumulated otherwise. ap holds kc groups of MR values, bp kc groups
+// of NR.
+type microKernel func(kc int, ap, bp, c []float32, ldc int, first bool)
+
+// kernelFor returns the micro-kernel for an MR×NR register tile, or nil.
+func kernelFor(mr, nr int) microKernel {
+	switch {
+	case mr == 4 && nr == 4:
+		return kern4x4
+	case mr == 8 && nr == 4:
+		return kern8x4
+	case mr == 4 && nr == 8:
+		return kern4x8
+	case mr == 8 && nr == 8:
+		return kern8x8
+	}
+	return nil
+}
+
+// MicroKernels lists the built-in MR×NR register tiles the autotuner may
+// probe.
+func MicroKernels() [][2]int { return [][2]int{{4, 4}, {8, 4}, {4, 8}, {8, 8}} }
+
+func microKernelNames() string {
+	names := make([]string, 0, 4)
+	for _, k := range MicroKernels() {
+		names = append(names, fmt.Sprintf("%dx%d", k[0], k[1]))
+	}
+	return strings.Join(names, ", ")
+}
+
+// panelBuf is a pooled packing buffer. Pooling the struct pointer (not the
+// slice) keeps Put allocation-free, so steady-state blocked GEMMs do zero
+// allocations — guarded by TestBlockedZeroAlloc.
+type panelBuf struct{ data []float32 }
+
+var panelPool sync.Pool
+
+func getPanel(n int) *panelBuf {
+	pb, _ := panelPool.Get().(*panelBuf)
+	if pb == nil {
+		pb = &panelBuf{}
+	}
+	if cap(pb.data) < n {
+		pb.data = make([]float32, n)
+	}
+	pb.data = pb.data[:n]
+	return pb
+}
+
+func putPanel(pb *panelBuf) { panelPool.Put(pb) }
+
+// packA packs the mc×kc block of A starting at (ic, pc) into MR-row
+// panels: dst[panel][kk*mr+i] = A[ic+panel*mr+i][pc+kk], zero-padding
+// rows past mc so edge micro-tiles can run the full-width kernel.
+// aTrans selects the K×M storage layout of the TransA variant.
+func packA(dst, a []float32, lda, ic, mc, pc, kc, mr int, aTrans bool) {
+	for ir := 0; ir < mc; ir += mr {
+		rows := mr
+		if mc-ir < rows {
+			rows = mc - ir
+		}
+		panel := dst[(ir/mr)*kc*mr : (ir/mr+1)*kc*mr]
+		if aTrans {
+			// A stored K×M: row kk of the block is contiguous in memory.
+			for kk := 0; kk < kc; kk++ {
+				drow := panel[kk*mr : kk*mr+mr]
+				copy(drow, a[(pc+kk)*lda+ic+ir:][:rows])
+				for i := rows; i < mr; i++ {
+					drow[i] = 0
+				}
+			}
+		} else {
+			for i := 0; i < rows; i++ {
+				src := a[(ic+ir+i)*lda+pc:][:kc]
+				for kk, v := range src {
+					panel[kk*mr+i] = v
+				}
+			}
+			for i := rows; i < mr; i++ {
+				for kk := 0; kk < kc; kk++ {
+					panel[kk*mr+i] = 0
+				}
+			}
+		}
+	}
+}
+
+// packB packs the kc×n slab of B starting at row pc into NR-column
+// panels: dst[panel][kk*nr+j] = B[pc+kk][panel*nr+j], zero-padding
+// columns past n. bTrans selects the N×K storage layout of the TransB
+// variant.
+func packB(dst, b []float32, ldb, pc, kc, n, nr int, bTrans bool) {
+	for jr := 0; jr < n; jr += nr {
+		cols := nr
+		if n-jr < cols {
+			cols = n - jr
+		}
+		panel := dst[(jr/nr)*kc*nr : (jr/nr+1)*kc*nr]
+		if bTrans {
+			// B stored N×K: column j of the slab is contiguous in memory.
+			for j := 0; j < cols; j++ {
+				src := b[(jr+j)*ldb+pc:][:kc]
+				for kk, v := range src {
+					panel[kk*nr+j] = v
+				}
+			}
+			if cols < nr {
+				for kk := 0; kk < kc; kk++ {
+					for j := cols; j < nr; j++ {
+						panel[kk*nr+j] = 0
+					}
+				}
+			}
+		} else {
+			for kk := 0; kk < kc; kk++ {
+				drow := panel[kk*nr : kk*nr+nr]
+				copy(drow, b[(pc+kk)*ldb+jr:][:cols])
+				for j := cols; j < nr; j++ {
+					drow[j] = 0
+				}
+			}
+		}
+	}
+}
+
+// blockedArgs carries one blocked GEMM through the K-panel loop so the
+// per-MC-block worker body needs no closure captures beyond one pointer.
+// Headers are pooled (argsPool) because the parallel path binds a method
+// value to the pointer, which would otherwise heap-allocate the struct on
+// every GEMM — including serial ones.
+type blockedArgs struct {
+	c, a, bp  []float32
+	lda, ldc  int
+	m, n      int
+	pc, kc    int
+	first     bool
+	aTrans    bool
+	tile      TileConfig
+	kern      microKernel
+	apPerBlk  int // packed-A floats needed per MC block
+}
+
+// runBlocks packs and multiplies MC blocks [lo, hi). Each invocation owns
+// its packed-A buffer; the packed-B slab is shared read-only.
+func (g *blockedArgs) runBlocks(lo, hi int) {
+	mc, mr, nr := g.tile.MC, g.tile.MR, g.tile.NR
+	apb := getPanel(g.apPerBlk)
+	ap := apb.data
+	for blk := lo; blk < hi; blk++ {
+		ic := blk * mc
+		mcur := mc
+		if g.m-ic < mcur {
+			mcur = g.m - ic
+		}
+		packA(ap, g.a, g.lda, ic, mcur, g.pc, g.kc, mr, g.aTrans)
+		for jr := 0; jr < g.n; jr += nr {
+			ncur := nr
+			if g.n-jr < ncur {
+				ncur = g.n - jr
+			}
+			bpPanel := g.bp[(jr/nr)*g.kc*nr:]
+			for ir := 0; ir < mcur; ir += mr {
+				mrcur := mr
+				if mcur-ir < mrcur {
+					mrcur = mcur - ir
+				}
+				apPanel := ap[(ir/mr)*g.kc*mr:]
+				cOff := (ic+ir)*g.ldc + jr
+				if mrcur == mr && ncur == nr {
+					g.kern(g.kc, apPanel, bpPanel, g.c[cOff:], g.ldc, g.first)
+					continue
+				}
+				// Edge tile: a generic partial-width kernel with the same
+				// accumulation tree as the register kernels (sum a full
+				// k-panel from zero, then one store/add into C), so edge
+				// values match the full-tile path bit-for-bit.
+				kernEdge(g.kc, mr, nr, mrcur, ncur, apPanel, bpPanel, g.c[cOff:], g.ldc, g.first)
+			}
+		}
+	}
+	putPanel(apb)
+}
+
+// blockedGEMM runs one cache-blocked GEMM. pool may be nil (serial);
+// parallel shards MC blocks across it with a barrier per KC step, which
+// preserves the per-tile accumulation order and hence bit-for-bit
+// serial/parallel equivalence.
+func blockedGEMM(c, a, b []float32, m, n, k int, aTrans, bTrans bool, t TileConfig, pool *workerPool, parallel bool) {
+	if m == 0 || n == 0 {
+		return
+	}
+	if k == 0 {
+		for i := range c[:m*n] {
+			c[i] = 0
+		}
+		return
+	}
+	lda, ldb := k, n
+	if aTrans {
+		lda = m
+	}
+	if bTrans {
+		ldb = k
+	}
+	kern := kernelFor(t.MR, t.NR)
+
+	kc0 := t.KC
+	if k < kc0 {
+		kc0 = k
+	}
+	mc0 := t.MC
+	if m < mc0 {
+		mc0 = m
+	}
+	nPanelsB := (n + t.NR - 1) / t.NR
+	nPanelsA := (mc0 + t.MR - 1) / t.MR
+	nBlocks := (m + t.MC - 1) / t.MC
+
+	bpb := getPanel(kc0 * nPanelsB * t.NR)
+	g, _ := argsPool.Get().(*blockedArgs)
+	if g == nil {
+		g = &blockedArgs{}
+	}
+	*g = blockedArgs{
+		c: c, a: a, bp: bpb.data,
+		lda: lda, ldc: n, m: m, n: n,
+		aTrans: aTrans, tile: t, kern: kern,
+		apPerBlk: kc0 * nPanelsA * t.MR,
+	}
+	var parFn func(lo, hi int)
+	if parallel && pool != nil && nBlocks > 1 {
+		parFn = g.runBlocks // one binding for the whole K loop
+	}
+	for pc := 0; pc < k; pc += t.KC {
+		g.pc = pc
+		g.kc = t.KC
+		if k-pc < g.kc {
+			g.kc = k - pc
+		}
+		packB(bpb.data, b, ldb, pc, g.kc, n, t.NR, bTrans)
+		g.first = pc == 0
+		if parFn != nil {
+			pool.parallelFor(nBlocks, parFn)
+		} else {
+			g.runBlocks(0, nBlocks)
+		}
+	}
+	*g = blockedArgs{} // drop the operand references before pooling
+	argsPool.Put(g)
+	putPanel(bpb)
+}
+
+var argsPool sync.Pool
+
+// kernEdge handles partial micro-tiles at the M/N fringes: mrcur×ncur
+// elements of C at stride ldc, from panels packed with full mr/nr
+// groups. It is a direct call (no function-value indirection), keeping
+// the blocked hot path allocation-free.
+func kernEdge(kc, mr, nr, mrcur, ncur int, ap, bp, c []float32, ldc int, first bool) {
+	for i := 0; i < mrcur; i++ {
+		crow := c[i*ldc : i*ldc+ncur]
+		for j := 0; j < ncur; j++ {
+			var s float32
+			for kk := 0; kk < kc; kk++ {
+				s += ap[kk*mr+i] * bp[kk*nr+j]
+			}
+			if first {
+				crow[j] = s
+			} else {
+				crow[j] += s
+			}
+		}
+	}
+}
+
+// The register micro-kernels. Each accumulates an MR×NR tile over the kc
+// packed groups in ascending k order, then stores (first) or adds
+// (otherwise) into C — one memory pass per KC panel instead of the naive
+// kernel's load+store per FMA, which is where the speedup comes from.
+
+func kern4x4(kc int, ap, bp, c []float32, ldc int, first bool) {
+	var c00, c01, c02, c03 float32
+	var c10, c11, c12, c13 float32
+	var c20, c21, c22, c23 float32
+	var c30, c31, c32, c33 float32
+	ap = ap[: 4*kc : 4*kc]
+	bp = bp[: 4*kc : 4*kc]
+	for len(ap) >= 4 && len(bp) >= 4 {
+		a0, a1, a2, a3 := ap[0], ap[1], ap[2], ap[3]
+		b0, b1, b2, b3 := bp[0], bp[1], bp[2], bp[3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+		ap = ap[4:]
+		bp = bp[4:]
+	}
+	r0 := c[0*ldc : 0*ldc+4]
+	r1 := c[1*ldc : 1*ldc+4]
+	r2 := c[2*ldc : 2*ldc+4]
+	r3 := c[3*ldc : 3*ldc+4]
+	if first {
+		r0[0], r0[1], r0[2], r0[3] = c00, c01, c02, c03
+		r1[0], r1[1], r1[2], r1[3] = c10, c11, c12, c13
+		r2[0], r2[1], r2[2], r2[3] = c20, c21, c22, c23
+		r3[0], r3[1], r3[2], r3[3] = c30, c31, c32, c33
+		return
+	}
+	r0[0] += c00
+	r0[1] += c01
+	r0[2] += c02
+	r0[3] += c03
+	r1[0] += c10
+	r1[1] += c11
+	r1[2] += c12
+	r1[3] += c13
+	r2[0] += c20
+	r2[1] += c21
+	r2[2] += c22
+	r2[3] += c23
+	r3[0] += c30
+	r3[1] += c31
+	r3[2] += c32
+	r3[3] += c33
+}
+
+func kern8x4(kc int, ap, bp, c []float32, ldc int, first bool) {
+	var c00, c01, c02, c03 float32
+	var c10, c11, c12, c13 float32
+	var c20, c21, c22, c23 float32
+	var c30, c31, c32, c33 float32
+	var c40, c41, c42, c43 float32
+	var c50, c51, c52, c53 float32
+	var c60, c61, c62, c63 float32
+	var c70, c71, c72, c73 float32
+	ap = ap[: 8*kc : 8*kc]
+	bp = bp[: 4*kc : 4*kc]
+	for len(ap) >= 8 && len(bp) >= 4 {
+		b0, b1, b2, b3 := bp[0], bp[1], bp[2], bp[3]
+		a := ap[0]
+		c00 += a * b0
+		c01 += a * b1
+		c02 += a * b2
+		c03 += a * b3
+		a = ap[1]
+		c10 += a * b0
+		c11 += a * b1
+		c12 += a * b2
+		c13 += a * b3
+		a = ap[2]
+		c20 += a * b0
+		c21 += a * b1
+		c22 += a * b2
+		c23 += a * b3
+		a = ap[3]
+		c30 += a * b0
+		c31 += a * b1
+		c32 += a * b2
+		c33 += a * b3
+		a = ap[4]
+		c40 += a * b0
+		c41 += a * b1
+		c42 += a * b2
+		c43 += a * b3
+		a = ap[5]
+		c50 += a * b0
+		c51 += a * b1
+		c52 += a * b2
+		c53 += a * b3
+		a = ap[6]
+		c60 += a * b0
+		c61 += a * b1
+		c62 += a * b2
+		c63 += a * b3
+		a = ap[7]
+		c70 += a * b0
+		c71 += a * b1
+		c72 += a * b2
+		c73 += a * b3
+		ap = ap[8:]
+		bp = bp[4:]
+	}
+	r0 := c[0*ldc : 0*ldc+4]
+	r1 := c[1*ldc : 1*ldc+4]
+	r2 := c[2*ldc : 2*ldc+4]
+	r3 := c[3*ldc : 3*ldc+4]
+	r4 := c[4*ldc : 4*ldc+4]
+	r5 := c[5*ldc : 5*ldc+4]
+	r6 := c[6*ldc : 6*ldc+4]
+	r7 := c[7*ldc : 7*ldc+4]
+	if first {
+		r0[0], r0[1], r0[2], r0[3] = c00, c01, c02, c03
+		r1[0], r1[1], r1[2], r1[3] = c10, c11, c12, c13
+		r2[0], r2[1], r2[2], r2[3] = c20, c21, c22, c23
+		r3[0], r3[1], r3[2], r3[3] = c30, c31, c32, c33
+		r4[0], r4[1], r4[2], r4[3] = c40, c41, c42, c43
+		r5[0], r5[1], r5[2], r5[3] = c50, c51, c52, c53
+		r6[0], r6[1], r6[2], r6[3] = c60, c61, c62, c63
+		r7[0], r7[1], r7[2], r7[3] = c70, c71, c72, c73
+		return
+	}
+	r0[0] += c00
+	r0[1] += c01
+	r0[2] += c02
+	r0[3] += c03
+	r1[0] += c10
+	r1[1] += c11
+	r1[2] += c12
+	r1[3] += c13
+	r2[0] += c20
+	r2[1] += c21
+	r2[2] += c22
+	r2[3] += c23
+	r3[0] += c30
+	r3[1] += c31
+	r3[2] += c32
+	r3[3] += c33
+	r4[0] += c40
+	r4[1] += c41
+	r4[2] += c42
+	r4[3] += c43
+	r5[0] += c50
+	r5[1] += c51
+	r5[2] += c52
+	r5[3] += c53
+	r6[0] += c60
+	r6[1] += c61
+	r6[2] += c62
+	r6[3] += c63
+	r7[0] += c70
+	r7[1] += c71
+	r7[2] += c72
+	r7[3] += c73
+}
+
+// kern8x8go is the portable 8×8 path: 64 scalar accumulators exceed the
+// register file, so it reuses the generic edge kernel, which has the
+// identical accumulation tree. The SIMD build (kern8x8_amd64.s) replaces
+// it wherever AVX2+FMA is available.
+func kern8x8go(kc int, ap, bp, c []float32, ldc int, first bool) {
+	kernEdge(kc, 8, 8, 8, 8, ap, bp, c, ldc, first)
+}
+
+func kern4x8(kc int, ap, bp, c []float32, ldc int, first bool) {
+	var c00, c01, c02, c03, c04, c05, c06, c07 float32
+	var c10, c11, c12, c13, c14, c15, c16, c17 float32
+	var c20, c21, c22, c23, c24, c25, c26, c27 float32
+	var c30, c31, c32, c33, c34, c35, c36, c37 float32
+	ap = ap[: 4*kc : 4*kc]
+	bp = bp[: 8*kc : 8*kc]
+	for len(ap) >= 4 && len(bp) >= 8 {
+		b0, b1, b2, b3 := bp[0], bp[1], bp[2], bp[3]
+		b4, b5, b6, b7 := bp[4], bp[5], bp[6], bp[7]
+		a := ap[0]
+		c00 += a * b0
+		c01 += a * b1
+		c02 += a * b2
+		c03 += a * b3
+		c04 += a * b4
+		c05 += a * b5
+		c06 += a * b6
+		c07 += a * b7
+		a = ap[1]
+		c10 += a * b0
+		c11 += a * b1
+		c12 += a * b2
+		c13 += a * b3
+		c14 += a * b4
+		c15 += a * b5
+		c16 += a * b6
+		c17 += a * b7
+		a = ap[2]
+		c20 += a * b0
+		c21 += a * b1
+		c22 += a * b2
+		c23 += a * b3
+		c24 += a * b4
+		c25 += a * b5
+		c26 += a * b6
+		c27 += a * b7
+		a = ap[3]
+		c30 += a * b0
+		c31 += a * b1
+		c32 += a * b2
+		c33 += a * b3
+		c34 += a * b4
+		c35 += a * b5
+		c36 += a * b6
+		c37 += a * b7
+		ap = ap[4:]
+		bp = bp[8:]
+	}
+	r0 := c[0*ldc : 0*ldc+8]
+	r1 := c[1*ldc : 1*ldc+8]
+	r2 := c[2*ldc : 2*ldc+8]
+	r3 := c[3*ldc : 3*ldc+8]
+	if first {
+		r0[0], r0[1], r0[2], r0[3], r0[4], r0[5], r0[6], r0[7] = c00, c01, c02, c03, c04, c05, c06, c07
+		r1[0], r1[1], r1[2], r1[3], r1[4], r1[5], r1[6], r1[7] = c10, c11, c12, c13, c14, c15, c16, c17
+		r2[0], r2[1], r2[2], r2[3], r2[4], r2[5], r2[6], r2[7] = c20, c21, c22, c23, c24, c25, c26, c27
+		r3[0], r3[1], r3[2], r3[3], r3[4], r3[5], r3[6], r3[7] = c30, c31, c32, c33, c34, c35, c36, c37
+		return
+	}
+	r0[0] += c00
+	r0[1] += c01
+	r0[2] += c02
+	r0[3] += c03
+	r0[4] += c04
+	r0[5] += c05
+	r0[6] += c06
+	r0[7] += c07
+	r1[0] += c10
+	r1[1] += c11
+	r1[2] += c12
+	r1[3] += c13
+	r1[4] += c14
+	r1[5] += c15
+	r1[6] += c16
+	r1[7] += c17
+	r2[0] += c20
+	r2[1] += c21
+	r2[2] += c22
+	r2[3] += c23
+	r2[4] += c24
+	r2[5] += c25
+	r2[6] += c26
+	r2[7] += c27
+	r3[0] += c30
+	r3[1] += c31
+	r3[2] += c32
+	r3[3] += c33
+	r3[4] += c34
+	r3[5] += c35
+	r3[6] += c36
+	r3[7] += c37
+}

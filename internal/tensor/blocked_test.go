@@ -1,0 +1,335 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Engines under test: the naive serial reference, blocked forced-serial
+// (1-worker private pool), and blocked forced-parallel (4-worker private
+// pool, zero threshold so every GEMM shards its MC blocks).
+func blockedEngines() (naive, blkSerial, blkParallel *Engine) {
+	naive = NewEngine(Serial, 1)
+	blkSerial = NewEngine(Blocked, 1)
+	blkParallel = NewEngine(Blocked, 4)
+	blkParallel.SetParallelThreshold(0)
+	return naive, blkSerial, blkParallel
+}
+
+// testTile is a deliberately small, non-round tiling (MC not a multiple
+// of MR, small KC) so modest test shapes cross every blocking boundary:
+// partial MR/NR micro-tiles, partial MC blocks and partial KC panels.
+var testTile = TileConfig{MC: 10, KC: 6, MR: 4, NR: 4}
+
+// relClose reports |got-want| <= tol·max(1, |want|), the tolerance form
+// the blocked backend is held to against the naive kernel (blocking
+// reorders the float adds, so exact equality is not expected).
+func relClose(got, want, tol float32) bool {
+	diff := math.Abs(float64(got) - float64(want))
+	scale := math.Max(1, math.Abs(float64(want)))
+	return diff <= float64(tol)*scale
+}
+
+func checkTensorsClose(t *testing.T, what string, got, want *Tensor, tol float32) {
+	t.Helper()
+	if len(got.Data) != len(want.Data) {
+		t.Fatalf("%s: length %d vs %d", what, len(got.Data), len(want.Data))
+	}
+	for i := range got.Data {
+		if !relClose(got.Data[i], want.Data[i], tol) {
+			t.Fatalf("%s: element %d = %g, want %g (tol %g)", what, i, got.Data[i], want.Data[i], tol)
+		}
+	}
+}
+
+// checkBlockedShape runs the three GEMM variants at one (m,k,n) shape
+// and asserts (a) blocked-vs-naive within 1e-4 relative and (b) blocked
+// serial vs blocked parallel bit-for-bit.
+func checkBlockedShape(t *testing.T, m, k, n int, seed int64, tile TileConfig) {
+	t.Helper()
+	naive, bs, bp := blockedEngines()
+	if err := bs.SetTile(tile); err != nil {
+		t.Fatalf("SetTile(%v): %v", tile, err)
+	}
+	if err := bp.SetTile(tile); err != nil {
+		t.Fatalf("SetTile(%v): %v", tile, err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	a := randTensor(rng, m, k)
+	b := randTensor(rng, k, n)
+	at := randTensor(rng, k, m) // stored transposed for TransA
+	bt := randTensor(rng, n, k) // stored transposed for TransB
+
+	type variant struct {
+		name string
+		run  func(e *Engine, c *Tensor)
+	}
+	variants := []variant{
+		{"MatMulInto", func(e *Engine, c *Tensor) { e.MatMulInto(c, a, b) }},
+		{"MatMulTransAInto", func(e *Engine, c *Tensor) { e.MatMulTransAInto(c, at, b) }},
+		{"MatMulTransBInto", func(e *Engine, c *Tensor) { e.MatMulTransBInto(c, a, bt) }},
+	}
+	for _, v := range variants {
+		want := New(m, n)
+		gotS := New(m, n)
+		gotP := New(m, n)
+		// Blocked Into forms must fully overwrite, like the naive ones.
+		for i := range gotS.Data {
+			gotS.Data[i] = 999
+			gotP.Data[i] = -999
+		}
+		v.run(naive, want)
+		v.run(bs, gotS)
+		v.run(bp, gotP)
+		checkTensorsClose(t, v.name+" blocked-vs-naive", gotS, want, 1e-4)
+		if !bitIdentical(gotS, gotP) {
+			t.Fatalf("%s %dx%dx%d tile %v: blocked parallel diverges bit-for-bit from blocked serial",
+				v.name, m, k, n, tile)
+		}
+	}
+}
+
+// TestBlockedBoundaryShapes is the table-driven ragged sweep: every
+// dimension takes values 1..5 and each tile parameter ±1, so partial
+// micro-tiles, partial MC blocks and partial KC panels are all hit.
+func TestBlockedBoundaryShapes(t *testing.T) {
+	mr, nr, mc, kc := testTile.MR, testTile.NR, testTile.MC, testTile.KC
+	ms := []int{1, 2, 3, 5, mr - 1, mr + 1, mc - 1, mc + 1, 2*mc + 3}
+	ks := []int{1, 2, 4, kc - 1, kc, kc + 1, 3*kc + 1}
+	ns := []int{1, 3, 5, nr - 1, nr + 1, 2*nr + 1, 17}
+	seed := int64(1)
+	for _, m := range ms {
+		for _, k := range ks {
+			for _, n := range ns {
+				seed++
+				checkBlockedShape(t, m, k, n, seed, testTile)
+			}
+		}
+	}
+}
+
+// TestBlockedDegenerateShapes pins the empty-dimension edge cases; an
+// empty K must still zero the output, as the naive kernel does.
+func TestBlockedDegenerateShapes(t *testing.T) {
+	for i, s := range [][3]int{{0, 3, 4}, {3, 0, 4}, {3, 4, 0}, {0, 0, 0}, {1, 1, 1}} {
+		checkBlockedShape(t, s[0], s[1], s[2], int64(200+i), testTile)
+	}
+}
+
+// TestBlockedAllMicroKernels runs the boundary check once per built-in
+// MR×NR register tile, so every kernel's edge handling is exercised.
+func TestBlockedAllMicroKernels(t *testing.T) {
+	for i, mk := range MicroKernels() {
+		tile := TileConfig{MC: 3*mk[0] + 1, KC: 7, MR: mk[0], NR: mk[1]}
+		checkBlockedShape(t, 2*tile.MC+3, 2*tile.KC+1, 3*tile.NR+2, int64(300+i), tile)
+	}
+}
+
+// TestBlockedDefaultTileVGGSubshape exercises the production DefaultTile
+// on a scaled-down VGG conv2_1 geometry (same aspect, smaller K·N), in
+// both serial and sharded form.
+func TestBlockedDefaultTileVGGSubshape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large GEMM in -short mode")
+	}
+	checkBlockedShape(t, 64, 600, 700, 42, DefaultTile)
+}
+
+// TestBlockedRandomShapes is the property sweep at the default tile's
+// micro-kernel with random ragged shapes.
+func TestBlockedRandomShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	dims := []int{1, 2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 17, 21, 33}
+	for trial := 0; trial < 40; trial++ {
+		m := dims[rng.Intn(len(dims))]
+		k := dims[rng.Intn(len(dims))]
+		n := dims[rng.Intn(len(dims))]
+		checkBlockedShape(t, m, k, n, int64(400+trial), testTile)
+	}
+}
+
+// TestBlockedFullyOverwritesOutput guards the Into contract on pooled
+// scratch: whatever garbage the buffer holds must be gone afterwards.
+func TestBlockedFullyOverwritesOutput(t *testing.T) {
+	_, bs, _ := blockedEngines()
+	rng := rand.New(rand.NewSource(77))
+	a := randTensor(rng, 9, 5)
+	b := randTensor(rng, 5, 7)
+	c, release := NewScratch(9, 7)
+	defer release()
+	for i := range c.Data {
+		c.Data[i] = float32(math.NaN())
+	}
+	bs.MatMulInto(c, a, b)
+	for i, v := range c.Data {
+		if math.IsNaN(float64(v)) {
+			t.Fatalf("element %d still NaN: output not fully overwritten", i)
+		}
+	}
+}
+
+// TestBlockedZeroAlloc is the packed-panel pool guard: after warm-up, a
+// serial blocked GEMM (all three variants) must allocate nothing — the
+// panels come from the pooled *panelBuf free list and the micro-tile
+// staging buffer lives on the stack.
+func TestBlockedZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates")
+	}
+	_, bs, _ := blockedEngines()
+	rng := rand.New(rand.NewSource(5))
+	m, k, n := 33, 70, 29
+	a := randTensor(rng, m, k)
+	b := randTensor(rng, k, n)
+	at := randTensor(rng, k, m)
+	bt := randTensor(rng, n, k)
+	c := New(m, n)
+	run := func() {
+		bs.MatMulInto(c, a, b)
+		bs.MatMulTransAInto(c, at, b)
+		bs.MatMulTransBInto(c, a, bt)
+	}
+	run() // warm the panel pool and the lastTile record
+	if allocs := testing.AllocsPerRun(20, run); allocs != 0 {
+		t.Fatalf("steady-state blocked GEMM allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestBlockedConcurrent hammers one blocked-parallel engine from many
+// goroutines; under -race this guards the shared packed-B slab (read-only
+// after pack) and the panel pool handoff.
+func TestBlockedConcurrent(t *testing.T) {
+	naive, _, bp := blockedEngines()
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			rng := rand.New(rand.NewSource(int64(g)))
+			for iter := 0; iter < 15; iter++ {
+				m, k, n := 1+rng.Intn(24), 1+rng.Intn(24), 1+rng.Intn(24)
+				a, b := randTensor(rng, m, k), randTensor(rng, k, n)
+				got, want := New(m, n), New(m, n)
+				bp.MatMulInto(got, a, b)
+				naive.MatMulInto(want, a, b)
+				for i := range got.Data {
+					if !relClose(got.Data[i], want.Data[i], 1e-4) {
+						done <- errAt(g, iter)
+						return
+					}
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+type concErr struct{ g, iter int }
+
+func errAt(g, iter int) error { return concErr{g, iter} }
+func (e concErr) Error() string {
+	return "blocked concurrent GEMM corrupted result"
+}
+
+// TestTileConfigRoundTrip covers the MCxKCxMRxNR string form and the
+// validation ParseTile applies.
+func TestTileConfigRoundTrip(t *testing.T) {
+	for _, tile := range []TileConfig{DefaultTile, {MC: 64, KC: 128, MR: 4, NR: 8}} {
+		got, err := ParseTile(tile.String())
+		if err != nil || got != tile {
+			t.Fatalf("ParseTile(%q) = %v, %v", tile.String(), got, err)
+		}
+	}
+	for _, bad := range []string{"", "128x256x8", "axbxcxd", "128x256x3x3", "2x256x8x4", "128x0x8x4"} {
+		if _, err := ParseTile(bad); err == nil {
+			t.Fatalf("ParseTile(%q) accepted an invalid tile", bad)
+		}
+	}
+}
+
+// TestBlockedEngineKnobs covers the Blocked additions to the backend
+// surface: parsing, PlanGEMM resolution and the tile accessors.
+func TestBlockedEngineKnobs(t *testing.T) {
+	if b, err := ParseBackend(" Blocked "); err != nil || b != Blocked {
+		t.Fatalf("ParseBackend(blocked) = %v, %v", b, err)
+	}
+	if Blocked.String() != "blocked" {
+		t.Fatalf("Blocked.String() = %q", Blocked.String())
+	}
+
+	e := NewEngine(Blocked, 4)
+	if b, w := e.PlanGEMM(256, 256, 256); b != Blocked || w != 4 {
+		t.Fatalf("above-threshold blocked PlanGEMM = %v/%d, want blocked/4", b, w)
+	}
+	if b, w := e.PlanGEMM(2, 2, 2); b != Blocked || w != 1 {
+		t.Fatalf("below-threshold blocked PlanGEMM = %v/%d, want blocked/1", b, w)
+	}
+
+	if e.Tile() != DefaultTile {
+		t.Fatalf("unpinned Tile() = %v, want DefaultTile", e.Tile())
+	}
+	want := TileConfig{MC: 64, KC: 128, MR: 4, NR: 4}
+	if err := e.SetTile(want); err != nil {
+		t.Fatalf("SetTile: %v", err)
+	}
+	if e.Tile() != want || e.ActiveTile() != want {
+		t.Fatalf("Tile/ActiveTile after SetTile = %v/%v", e.Tile(), e.ActiveTile())
+	}
+	if err := e.SetTile(TileConfig{MC: 1, KC: 1, MR: 3, NR: 3}); err == nil {
+		t.Fatal("SetTile accepted a tile with no micro-kernel")
+	}
+
+	// ActiveTile reflects the tile a blocked GEMM actually used.
+	rng := rand.New(rand.NewSource(8))
+	c, a, b := New(6, 6), randTensor(rng, 6, 4), randTensor(rng, 4, 6)
+	e.MatMulInto(c, a, b)
+	if e.ActiveTile() != want {
+		t.Fatalf("ActiveTile after GEMM = %v, want %v", e.ActiveTile(), want)
+	}
+}
+
+// TestEngineFromEnvKnobs drives the injectable env parsing: backend,
+// tile pin and autotune switch.
+func TestEngineFromEnvKnobs(t *testing.T) {
+	env := map[string]string{
+		"PCNN_GEMM_BACKEND": "blocked",
+		"PCNN_GEMM_TILE":    "64x128x4x8",
+		"PCNN_GEMM_TUNE":    "on",
+	}
+	e := engineFromEnv(func(k string) string { return env[k] })
+	if e.Backend() != Blocked {
+		t.Fatalf("backend = %v, want blocked", e.Backend())
+	}
+	if got := e.Tile(); got != (TileConfig{MC: 64, KC: 128, MR: 4, NR: 8}) {
+		t.Fatalf("tile = %v", got)
+	}
+	if !e.Autotune() {
+		t.Fatal("autotune not enabled")
+	}
+	// A bad tile string is ignored, not fatal; defaults survive.
+	e2 := engineFromEnv(func(k string) string {
+		return map[string]string{"PCNN_GEMM_TILE": "nonsense"}[k]
+	})
+	if e2.Tile() != DefaultTile || e2.Backend() != Auto {
+		t.Fatalf("bad-env engine = %v/%v", e2.Backend(), e2.Tile())
+	}
+}
+
+// FuzzBlockedVsNaive fuzzes the blocked backend at the small boundary
+// tile: any shape must agree with naive within tolerance and be
+// bit-for-bit identical between blocked-serial and blocked-parallel.
+// The committed corpus under testdata/fuzz pins the tile-boundary seeds.
+func FuzzBlockedVsNaive(f *testing.F) {
+	f.Add(uint8(3), uint8(4), uint8(5), int64(1))
+	f.Add(uint8(testTile.MR+1), uint8(testTile.KC+1), uint8(testTile.NR+1), int64(2))
+	f.Add(uint8(testTile.MC+1), uint8(testTile.KC-1), uint8(1), int64(3))
+	f.Add(uint8(0), uint8(1), uint8(2), int64(4))
+	f.Fuzz(func(t *testing.T, m8, k8, n8 uint8, seed int64) {
+		m, k, n := int(m8)%40, int(k8)%40, int(n8)%40
+		checkBlockedShape(t, m, k, n, seed, testTile)
+	})
+}

@@ -1,0 +1,121 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX2+FMA 8×8 micro-kernel. Eight YMM accumulators hold the full 8×8
+// C tile (one register per row); each k step loads one 8-wide packed-B
+// group, broadcasts the eight packed-A values and issues eight fused
+// multiply-adds. The epilogue writes the tile to C once — stores when
+// first, vector adds otherwise — matching the Go kernels' one-pass-per-
+// KC-panel accumulation tree (FMA rounds once per multiply-add, so
+// agreement with the scalar kernels is tolerance-level, not exact).
+
+// func kern8x8fma(kc int, ap, bp, c *float32, ldc int, first bool)
+TEXT ·kern8x8fma(SB), NOSPLIT, $0-41
+	MOVQ kc+0(FP), CX
+	MOVQ ap+8(FP), SI
+	MOVQ bp+16(FP), DI
+	MOVQ c+24(FP), DX
+	MOVQ ldc+32(FP), BX
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+
+	SHLQ $2, BX // ldc in bytes
+
+loop:
+	VMOVUPS      (DI), Y8
+	VBROADCASTSS (SI), Y9
+	VFMADD231PS  Y8, Y9, Y0
+	VBROADCASTSS 4(SI), Y10
+	VFMADD231PS  Y8, Y10, Y1
+	VBROADCASTSS 8(SI), Y11
+	VFMADD231PS  Y8, Y11, Y2
+	VBROADCASTSS 12(SI), Y12
+	VFMADD231PS  Y8, Y12, Y3
+	VBROADCASTSS 16(SI), Y9
+	VFMADD231PS  Y8, Y9, Y4
+	VBROADCASTSS 20(SI), Y10
+	VFMADD231PS  Y8, Y10, Y5
+	VBROADCASTSS 24(SI), Y11
+	VFMADD231PS  Y8, Y11, Y6
+	VBROADCASTSS 28(SI), Y12
+	VFMADD231PS  Y8, Y12, Y7
+	ADDQ         $32, SI
+	ADDQ         $32, DI
+	DECQ         CX
+	JNZ          loop
+
+	MOVBLZX first+40(FP), AX
+	TESTB   AX, AX
+	JZ      acc
+
+	VMOVUPS Y0, (DX)
+	ADDQ    BX, DX
+	VMOVUPS Y1, (DX)
+	ADDQ    BX, DX
+	VMOVUPS Y2, (DX)
+	ADDQ    BX, DX
+	VMOVUPS Y3, (DX)
+	ADDQ    BX, DX
+	VMOVUPS Y4, (DX)
+	ADDQ    BX, DX
+	VMOVUPS Y5, (DX)
+	ADDQ    BX, DX
+	VMOVUPS Y6, (DX)
+	ADDQ    BX, DX
+	VMOVUPS Y7, (DX)
+	VZEROUPPER
+	RET
+
+acc:
+	VADDPS  (DX), Y0, Y0
+	VMOVUPS Y0, (DX)
+	ADDQ    BX, DX
+	VADDPS  (DX), Y1, Y1
+	VMOVUPS Y1, (DX)
+	ADDQ    BX, DX
+	VADDPS  (DX), Y2, Y2
+	VMOVUPS Y2, (DX)
+	ADDQ    BX, DX
+	VADDPS  (DX), Y3, Y3
+	VMOVUPS Y3, (DX)
+	ADDQ    BX, DX
+	VADDPS  (DX), Y4, Y4
+	VMOVUPS Y4, (DX)
+	ADDQ    BX, DX
+	VADDPS  (DX), Y5, Y5
+	VMOVUPS Y5, (DX)
+	ADDQ    BX, DX
+	VADDPS  (DX), Y6, Y6
+	VMOVUPS Y6, (DX)
+	ADDQ    BX, DX
+	VADDPS  (DX), Y7, Y7
+	VMOVUPS Y7, (DX)
+	VZEROUPPER
+	RET
+
+// func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -73,6 +73,10 @@ func (e *Engine) matMulInto(op string, c, a, b *Tensor) {
 	m, k, n := a.Dim(0), a.Dim(1), b.Dim(1)
 	requireOut(op, c, m, n)
 	cd, ad, bd := c.Data, a.Data, b.Data
+	if e.Backend() == Blocked {
+		e.blockedInto(cd, ad, bd, m, n, k, false, false)
+		return
+	}
 	e.dispatch(m, n, k, func(lo, hi int) { matMulRows(cd, ad, bd, lo, hi, k, n) })
 }
 
@@ -94,6 +98,10 @@ func (e *Engine) matMulTransAInto(op string, c, a, b *Tensor) {
 	k, m, n := a.Dim(0), a.Dim(1), b.Dim(1)
 	requireOut(op, c, m, n)
 	cd, ad, bd := c.Data, a.Data, b.Data
+	if e.Backend() == Blocked {
+		e.blockedInto(cd, ad, bd, m, n, k, true, false)
+		return
+	}
 	e.dispatch(m, n, k, func(lo, hi int) { matMulTransARows(cd, ad, bd, lo, hi, k, m, n) })
 }
 
@@ -115,6 +123,10 @@ func (e *Engine) matMulTransBInto(op string, c, a, b *Tensor) {
 	m, k, n := a.Dim(0), a.Dim(1), b.Dim(0)
 	requireOut(op, c, m, n)
 	cd, ad, bd := c.Data, a.Data, b.Data
+	if e.Backend() == Blocked {
+		e.blockedInto(cd, ad, bd, m, n, k, false, true)
+		return
+	}
 	e.dispatch(m, n, k, func(lo, hi int) { matMulTransBRows(cd, ad, bd, lo, hi, k, n) })
 }
 

@@ -33,6 +33,9 @@ const (
 	Serial
 	// Parallel always shards rows across the worker pool.
 	Parallel
+	// Blocked runs the cache-blocked packed-panel kernels (blocked.go),
+	// sharding MC row blocks across the pool above the FLOP threshold.
+	Blocked
 )
 
 // String renders the backend name accepted by ParseBackend.
@@ -44,11 +47,14 @@ func (b Backend) String() string {
 		return "serial"
 	case Parallel:
 		return "parallel"
+	case Blocked:
+		return "blocked"
 	}
 	return fmt.Sprintf("Backend(%d)", int32(b))
 }
 
-// ParseBackend converts a name ("auto", "serial", "parallel") to a Backend.
+// ParseBackend converts a name ("auto", "serial", "parallel", "blocked")
+// to a Backend.
 func ParseBackend(s string) (Backend, error) {
 	switch strings.ToLower(strings.TrimSpace(s)) {
 	case "auto", "":
@@ -57,8 +63,10 @@ func ParseBackend(s string) (Backend, error) {
 		return Serial, nil
 	case "parallel":
 		return Parallel, nil
+	case "blocked":
+		return Blocked, nil
 	}
-	return Auto, fmt.Errorf("tensor: unknown backend %q (want auto, serial or parallel)", s)
+	return Auto, fmt.Errorf("tensor: unknown backend %q (want auto, serial, parallel or blocked)", s)
 }
 
 // GEMMFlops returns the multiply-add FLOP count 2·M·N·K of one GEMM, the
@@ -153,6 +161,13 @@ type Engine struct {
 	backend   atomic.Int32
 	threshold atomic.Int64
 	pool      *workerPool
+
+	// Blocked-backend state: an explicitly pinned tile, the tile the most
+	// recent blocked GEMM actually used (exported to metrics), and the
+	// lazy-autotune switch. All accessed atomically; see autotune.go.
+	tile     atomic.Pointer[TileConfig]
+	lastTile atomic.Pointer[TileConfig]
+	autotune atomic.Bool
 }
 
 // NewEngine creates an engine with the given backend. workers <= 0 shares
@@ -172,28 +187,46 @@ func NewEngine(b Backend, workers int) *Engine {
 // defaultEngine serves every package-level MatMul* call. Its knobs come
 // from the environment:
 //
-//	PCNN_GEMM_BACKEND    auto | serial | parallel   (default auto)
-//	PCNN_GEMM_WORKERS    worker-pool size           (default GOMAXPROCS)
-//	PCNN_GEMM_THRESHOLD  min FLOPs for Auto to go parallel
-var defaultEngine = engineFromEnv()
+//	PCNN_GEMM_BACKEND     auto | serial | parallel | blocked  (default auto)
+//	PCNN_GEMM_WORKERS     worker-pool size                    (default GOMAXPROCS)
+//	PCNN_GEMM_THRESHOLD   min FLOPs for Auto/Blocked to go parallel
+//	PCNN_GEMM_TUNE        1/on = lazy per-shape-class tile autotuning
+//	PCNN_GEMM_TILE        pinned blocked tile, MCxKCxMRxNR
+//	PCNN_GEMM_TUNE_CACHE  JSON file persisting probed tile winners
+var defaultEngine = engineFromEnv(os.Getenv)
 
-func engineFromEnv() *Engine {
+// engineFromEnv builds an engine from a getenv-shaped lookup; tests
+// inject their own to cover the knob parsing without mutating the
+// process environment.
+func engineFromEnv(getenv func(string) string) *Engine {
 	b := Auto
-	if s := os.Getenv("PCNN_GEMM_BACKEND"); s != "" {
+	if s := getenv("PCNN_GEMM_BACKEND"); s != "" {
 		if parsed, err := ParseBackend(s); err == nil {
 			b = parsed
 		}
 	}
 	workers := 0
-	if s := os.Getenv("PCNN_GEMM_WORKERS"); s != "" {
+	if s := getenv("PCNN_GEMM_WORKERS"); s != "" {
 		if v, err := strconv.Atoi(s); err == nil && v > 0 {
 			workers = v
 		}
 	}
 	e := NewEngine(b, workers)
-	if s := os.Getenv("PCNN_GEMM_THRESHOLD"); s != "" {
+	if s := getenv("PCNN_GEMM_THRESHOLD"); s != "" {
 		if v, err := strconv.ParseInt(s, 10, 64); err == nil && v >= 0 {
 			e.SetParallelThreshold(v)
+		}
+	}
+	if s := getenv("PCNN_GEMM_TUNE_CACHE"); s != "" {
+		_ = SetTuneCachePath(s) // unreadable cache = cold start, not fatal
+	}
+	switch strings.ToLower(strings.TrimSpace(getenv("PCNN_GEMM_TUNE"))) {
+	case "1", "on", "true", "yes":
+		e.SetAutotune(true)
+	}
+	if s := getenv("PCNN_GEMM_TILE"); s != "" {
+		if t, err := ParseTile(s); err == nil {
+			_ = e.SetTile(t) // ParseTile already validated
 		}
 	}
 	return e
@@ -218,14 +251,16 @@ func (e *Engine) ParallelThreshold() int64 { return e.threshold.Load() }
 // Workers returns the size of the engine's worker pool.
 func (e *Engine) Workers() int { return e.pool.workers() }
 
-// shouldParallel decides the execution strategy for an M×N×K GEMM.
+// shouldParallel decides the execution strategy for an M×N×K GEMM. For
+// the Blocked backend "parallel" means sharding MC row blocks rather than
+// raw rows, but the threshold logic is the same as Auto's.
 func (e *Engine) shouldParallel(m, n, k int) bool {
 	switch e.Backend() {
 	case Serial:
 		return false
 	case Parallel:
 		return m > 1
-	default:
+	default: // Auto and Blocked
 		return m > 1 && GEMMFlops(m, n, k) >= e.ParallelThreshold() && e.pool.workers() > 1
 	}
 }
@@ -235,10 +270,30 @@ func (e *Engine) shouldParallel(m, n, k int) bool {
 // The per-layer kernel tuner records this as the host-side dimension of
 // its kernel choice.
 func (e *Engine) PlanGEMM(m, n, k int) (Backend, int) {
-	if e.shouldParallel(m, n, k) {
+	par := e.shouldParallel(m, n, k)
+	if e.Backend() == Blocked {
+		if par {
+			return Blocked, e.pool.workers()
+		}
+		return Blocked, 1
+	}
+	if par {
 		return Parallel, e.pool.workers()
 	}
 	return Serial, 1
+}
+
+// blockedInto runs one blocked GEMM under the engine's resolved tile and
+// parallel decision, recording the tile that served it for ActiveTile.
+// The record is skipped when the tile is unchanged so the steady-state
+// path stays allocation-free.
+func (e *Engine) blockedInto(c, a, b []float32, m, n, k int, aTrans, bTrans bool) {
+	t := e.tileFor(m, k, n)
+	if cur := e.lastTile.Load(); cur == nil || *cur != t {
+		record := t // copy in the cold branch only, so t itself stays off the heap
+		e.lastTile.Store(&record)
+	}
+	blockedGEMM(c, a, b, m, n, k, aTrans, bTrans, t, e.pool, e.shouldParallel(m, n, k))
 }
 
 // dispatch runs the row kernel over [0, m), sharded when the backend says
