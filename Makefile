@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: ci vet build test test-short race bench bench-gemm bench-serve fuzz fuzz-blocked fuzz-predict chaos serve-smoke
+.PHONY: ci vet build test test-short race bench bench-gemm bench-serve fuzz fuzz-blocked fuzz-predict fuzz-mmpp chaos serve-smoke scenarios scenarios-smoke
 
 # ci is the gate every change must pass: static checks, full build, the
-# tier-1 test suite, and the race detector over the packages that own the
-# parallel GEMM backend.
-ci: vet build test race
+# tier-1 test suite, the race detector over the packages that own the
+# parallel GEMM backend and the serving/scenario pipelines, and the
+# scenario-matrix smoke grid.
+ci: vet build test race scenarios-smoke
 
 vet:
 	$(GO) vet ./...
@@ -20,7 +21,8 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/tensor/ ./internal/nn/ ./internal/serve/ ./internal/obs/ ./internal/fault/
+	$(GO) test -race ./internal/tensor/ ./internal/nn/ ./internal/serve/ ./internal/obs/ \
+		./internal/fault/ ./internal/scenario/ ./internal/workload/
 
 # bench reproduces the numbers recorded in BENCH_gemm.json.
 bench:
@@ -45,6 +47,12 @@ fuzz-blocked:
 fuzz-predict:
 	$(GO) test -run='^$$' -fuzz=FuzzPredictMS -fuzztime=30s ./internal/compile/
 
+# fuzz-mmpp hammers the MMPP arrival process: non-negative finite gaps,
+# bounded silent-state dwell, finite mean-rate blend (the committed seed
+# corpus runs as part of `test`).
+fuzz-mmpp:
+	$(GO) test -run='^$$' -fuzz=FuzzMMPPArrivals -fuzztime=30s ./internal/workload/
+
 # chaos runs the seeded fault-injection suite — deterministic injector
 # streams, the serve-level chaos scenarios, and the hardening regressions
 # (drain-on-Close, breaker lifecycle, soak conservation) — under the race
@@ -66,3 +74,15 @@ serve-smoke:
 bench-serve:
 	$(GO) run ./cmd/pcnnd -net AlexNet -platform TX1 -task surveillance \
 		-load open -n 300 -pace 1 -bench BENCH_serve.json
+
+# scenarios regenerates the committed heterogeneous-fleet matrix
+# (BENCH_scenarios.json + BENCH_scenarios.prom): platforms × arrival
+# processes × chaos, mixed archetypes, bit-for-bit reproducible at the
+# fixed seed.
+scenarios:
+	$(GO) run ./cmd/pcnnd -scenarios BENCH_scenarios.json \
+		-scenarios-prom BENCH_scenarios.prom -seed 42
+
+# scenarios-smoke runs the small scenario grid to stdout as a CI gate.
+scenarios-smoke:
+	$(GO) run ./cmd/pcnnd -scenarios - -grid smoke -seed 42 >/dev/null

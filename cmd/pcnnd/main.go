@@ -68,6 +68,12 @@ func main() {
 		backend  = flag.String("backend", "",
 			"host GEMM backend: auto, serial, parallel or blocked (default $PCNN_GEMM_BACKEND or auto)")
 
+		scenarios = flag.String("scenarios", "",
+			"run the scenario matrix and write its JSON rows to this file (- for stdout)")
+		scenProm = flag.String("scenarios-prom", "",
+			"with -scenarios: also write the matrix's Prometheus text snapshot to this file")
+		grid = flag.String("grid", "default", "scenario grid: default (12 scenarios) or smoke (4)")
+
 		faultSpec = flag.String("fault-spec", "",
 			"seeded fault injection, e.g. seed=42,launch=0.05,slow=0.1,slowx=4,corrupt=0.02,sat=0.01,skew=2.5")
 		retries   = flag.Int("retries", 0, "batch execution retries after a failure (0 = none)")
@@ -83,6 +89,13 @@ func main() {
 			log.Fatal(err)
 		}
 		tensor.Default().SetBackend(b)
+	}
+
+	if *scenarios != "" {
+		if err := runScenarios(*scenarios, *scenProm, *grid, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	task, err := taskByName(*taskName, *fps)
@@ -356,6 +369,57 @@ func runBench(fw *pcnn.Framework, cfg pcnn.ServeConfig, path string, n, conc int
 		return err
 	}
 	log.Printf("bench: wrote %s", path)
+	return nil
+}
+
+// runScenarios drives the heterogeneous-fleet scenario matrix — mixed
+// archetypes, bursty/diurnal arrivals, DVFS, co-running interference and
+// seeded chaos on a virtual clock — and writes the deterministic rows as
+// JSON (plus, optionally, a Prometheus text snapshot). The same grid and
+// seed always produce byte-identical output.
+func runScenarios(jsonPath, promPath, grid string, seed int64) error {
+	var specs []pcnn.ScenarioSpec
+	switch grid {
+	case "default":
+		specs = pcnn.DefaultScenarios(seed)
+	case "smoke":
+		specs = pcnn.SmokeScenarios(seed)
+	default:
+		return fmt.Errorf("unknown -grid %q (want default or smoke)", grid)
+	}
+	var eng pcnn.ScenarioEngine
+	m, err := eng.RunMatrix(specs, func(i int, name string) {
+		log.Printf("scenario %d/%d: %s", i+1, len(specs), name)
+	})
+	if err != nil {
+		return err
+	}
+	out := os.Stdout
+	if jsonPath != "-" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := m.EncodeJSON(out); err != nil {
+		return err
+	}
+	if jsonPath != "-" {
+		log.Printf("scenarios: wrote %d rows to %s", len(m.Rows), jsonPath)
+	}
+	if promPath != "" {
+		f, err := os.Create(promPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := m.WritePrometheus(f); err != nil {
+			return err
+		}
+		log.Printf("scenarios: wrote Prometheus snapshot to %s", promPath)
+	}
 	return nil
 }
 

@@ -1,0 +1,499 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"pcnn/internal/compile"
+	"pcnn/internal/fault"
+	"pcnn/internal/gpu"
+	"pcnn/internal/nn"
+	"pcnn/internal/satisfaction"
+	"pcnn/internal/serve"
+	"pcnn/internal/tensor"
+	"pcnn/internal/workload"
+)
+
+// streamTimeout bounds one stream's wall-clock run; virtual-time serving
+// resolves in microseconds per batch, so hitting this means a deadlock.
+const streamTimeout = 2 * time.Minute
+
+// vclock is the mutex-guarded settable clock the engine advances and the
+// server reads (request stamps, flush-time slack, worker exec stamps).
+type vclock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *vclock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *vclock) Set(t time.Time) {
+	c.mu.Lock()
+	c.t = t
+	c.mu.Unlock()
+}
+
+// planKey identifies one compiled deployment in the engine's caches.
+// ApplyDVFS mutates the plan it scales, so the DVFS variant is a separate
+// compilation, never a toggle on a shared plan.
+type planKey struct {
+	platform, net, task string
+	fps                 float64
+	dvfs                bool
+}
+
+// corunFactor is the cached interference of co-running the background
+// tagging workload under one plan: time and energy multipliers relative
+// to running alone.
+type corunFactor struct{ timeX, energyX float64 }
+
+// Engine runs scenario specs. The zero value is ready; caches persist
+// across Run calls, so a matrix sharing deployments compiles each once.
+type Engine struct {
+	// ExecutorFor, when non-nil, replaces executor construction — tests
+	// inject fixed-cost fakes so golden outputs stay independent of the
+	// simulator's floating-point behaviour. plan is nil when the engine
+	// did not need a compilation (explicit rates, no DVFS/co-run).
+	ExecutorFor func(sp Spec, st StreamSpec, plan *compile.Plan) (serve.Executor, error)
+
+	mu    sync.Mutex
+	plans map[planKey]*compile.Plan
+	execs map[planKey]serve.Executor
+	corun map[planKey]corunFactor
+}
+
+// planFor compiles (caching) the deployment for one stream's task.
+func (e *Engine) planFor(key planKey, dev *gpu.Device, net *nn.NetShape, task satisfaction.Task) (*compile.Plan, error) {
+	e.mu.Lock()
+	if e.plans == nil {
+		e.plans = map[planKey]*compile.Plan{}
+	}
+	p, ok := e.plans[key]
+	e.mu.Unlock()
+	if ok {
+		return p, nil
+	}
+	p, err := compile.Compile(net, dev, task)
+	if err != nil {
+		return nil, err
+	}
+	if key.dvfs {
+		if _, err := p.ApplyDVFS(gpu.DefaultFreqLevels); err != nil {
+			return nil, err
+		}
+	}
+	e.mu.Lock()
+	e.plans[key] = p
+	e.mu.Unlock()
+	return p, nil
+}
+
+// corunFor measures (caching) the co-run interference factor for a plan:
+// the background GoogLeNet tagging workload cycles on each layer's freed
+// SMs, and the plan's shared-vs-alone aggregate ratio becomes the
+// stream's execution-cost multiplier.
+func (e *Engine) corunFor(key planKey, plan *compile.Plan, dev *gpu.Device) (corunFactor, error) {
+	e.mu.Lock()
+	if e.corun == nil {
+		e.corun = map[planKey]corunFactor{}
+	}
+	f, ok := e.corun[key]
+	e.mu.Unlock()
+	if ok {
+		return f, nil
+	}
+	bgKey := planKey{platform: key.platform, net: "GoogLeNet", task: "tagging"}
+	bg, err := e.planFor(bgKey, dev, nn.GoogLeNetShape(), satisfaction.ImageTagging())
+	if err != nil {
+		return corunFactor{}, err
+	}
+	shared, err := plan.SimulateShared(bg)
+	if err != nil {
+		return corunFactor{}, err
+	}
+	_, alone, err := plan.Simulate(true)
+	if err != nil {
+		return corunFactor{}, err
+	}
+	f = corunFactor{timeX: 1, energyX: 1}
+	if alone.TimeMS > 0 {
+		f.timeX = shared.Aggregate.TimeMS / alone.TimeMS
+	}
+	if alone.EnergyJ > 0 {
+		f.energyX = shared.Aggregate.EnergyJ / alone.EnergyJ
+	}
+	// Donating freed SMs must not be modelled as a speedup; clamp the
+	// foreground's view of sharing at break-even.
+	if f.timeX < 1 {
+		f.timeX = 1
+	}
+	if f.energyX < 1 {
+		f.energyX = 1
+	}
+	e.mu.Lock()
+	e.corun[key] = f
+	e.mu.Unlock()
+	return f, nil
+}
+
+// corunExecutor scales an executor's predicted and simulated costs by a
+// fixed interference factor.
+type corunExecutor struct {
+	serve.Executor
+	f corunFactor
+}
+
+func (c corunExecutor) PredictMS(level, batch int) float64 {
+	return c.Executor.PredictMS(level, batch) * c.f.timeX
+}
+
+func (c corunExecutor) Execute(level, batch int, inputs *tensor.Tensor) (serve.BatchResult, error) {
+	r, err := c.Executor.Execute(level, batch, inputs)
+	r.TimeMS *= c.f.timeX
+	r.EnergyJ *= c.f.energyX
+	return r, err
+}
+
+// executorFor resolves one stream's executor, plan and co-run factor.
+func (e *Engine) executorFor(sp Spec, st StreamSpec, task satisfaction.Task) (serve.Executor, *compile.Plan, corunFactor, error) {
+	factor := corunFactor{timeX: 1, energyX: 1}
+	key := planKey{platform: sp.Platform, net: sp.Net, task: st.Task, fps: st.FPS, dvfs: sp.DVFS}
+
+	// A compilation is only needed when something consumes it: the default
+	// executor, DVFS, co-run interference, or a capacity-derived rate.
+	var plan *compile.Plan
+	needPlan := e.ExecutorFor == nil || sp.DVFS || sp.CoRun || st.RateRPS <= 0
+	if needPlan {
+		dev := gpu.PlatformByName(sp.Platform)
+		net := nn.NetShapeByName(sp.Net)
+		var err error
+		plan, err = e.planFor(key, dev, net, task)
+		if err != nil {
+			return nil, nil, factor, err
+		}
+		if sp.CoRun {
+			factor, err = e.corunFor(key, plan, dev)
+			if err != nil {
+				return nil, nil, factor, err
+			}
+		}
+	}
+
+	var ex serve.Executor
+	if e.ExecutorFor != nil {
+		var err error
+		ex, err = e.ExecutorFor(sp, st, plan)
+		if err != nil {
+			return nil, nil, factor, err
+		}
+	} else {
+		e.mu.Lock()
+		if e.execs == nil {
+			e.execs = map[planKey]serve.Executor{}
+		}
+		ex = e.execs[key]
+		e.mu.Unlock()
+		if ex == nil {
+			pe, err := serve.NewPlanExecutor(plan, nil, nil, nil)
+			if err != nil {
+				return nil, nil, factor, err
+			}
+			ex = pe
+			e.mu.Lock()
+			e.execs[key] = ex
+			e.mu.Unlock()
+		}
+	}
+	if sp.CoRun && factor.timeX > 1 {
+		ex = corunExecutor{Executor: ex, f: factor}
+	}
+	return ex, plan, factor, nil
+}
+
+// baseLevel mirrors serve's operating-point pick: the most aggressive
+// level whose recorded entropy stays inside the task's threshold. The
+// engine uses it only to price capacity when deriving load-based rates.
+func baseLevel(ex serve.Executor, task satisfaction.Task) int {
+	base := 0
+	for l := 0; l < ex.Levels(); l++ {
+		if ex.Entropy(l) <= task.EntropyThreshold {
+			base = l
+		}
+	}
+	return base
+}
+
+// streamRate resolves a stream's mean arrival rate: explicit RateRPS, or
+// Load × the executor's serving capacity at its base operating point.
+func streamRate(st StreamSpec, task satisfaction.Task, ex serve.Executor, maxBatch int) float64 {
+	if task.Class == satisfaction.RealTime && st.RateRPS <= 0 {
+		return st.FPS
+	}
+	if st.RateRPS > 0 {
+		return st.RateRPS
+	}
+	pred := ex.PredictMS(baseLevel(ex, task), maxBatch)
+	if pred <= 0 {
+		return st.Load * 100
+	}
+	return st.Load * float64(maxBatch) * 1000 / pred
+}
+
+// Run executes one scenario and returns its deterministic row.
+func (e *Engine) Run(sp Spec) (Row, error) {
+	sp = sp.withDefaults()
+	if err := sp.Validate(); err != nil {
+		return Row{}, err
+	}
+	row := Row{
+		Name:     sp.Name,
+		Platform: sp.Platform,
+		Net:      sp.Net,
+		DVFS:     sp.DVFS,
+		CoRun:    sp.CoRun,
+		Chaos:    sp.Chaos.String(),
+		Seed:     sp.Seed,
+	}
+	var lats []float64
+	for i, st := range sp.Streams {
+		task, err := taskFor(st)
+		if err != nil {
+			return Row{}, err
+		}
+		ex, plan, factor, err := e.executorFor(sp, st, task)
+		if err != nil {
+			return Row{}, fmt.Errorf("scenario %s stream %d: %w", sp.Name, i, err)
+		}
+		srow, streamLats, err := e.runStream(sp, i, st, task, ex, plan, factor)
+		if err != nil {
+			return Row{}, fmt.Errorf("scenario %s stream %d (%s): %w", sp.Name, i, st.Task, err)
+		}
+		row.Streams = append(row.Streams, srow)
+		lats = append(lats, streamLats...)
+	}
+	row.aggregate(lats)
+	return row, nil
+}
+
+// runStream serves one stream's full arrival sequence on the virtual
+// clock and folds the outcome into a StreamRow.
+func (e *Engine) runStream(sp Spec, idx int, st StreamSpec, task satisfaction.Task,
+	ex serve.Executor, plan *compile.Plan, factor corunFactor) (StreamRow, []float64, error) {
+
+	maxBatch := sp.MaxBatch
+	if maxBatch <= 0 || maxBatch > ex.MaxBatch() {
+		maxBatch = ex.MaxBatch()
+	}
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+
+	var inj *fault.Injector
+	if sp.Chaos.Enabled() {
+		fs := sp.Chaos
+		if fs.Seed == 0 {
+			fs.Seed = sp.Seed
+		}
+		fs.Seed += int64(idx) * 101
+		var err error
+		inj, err = fault.New(fs)
+		if err != nil {
+			return StreamRow{}, nil, err
+		}
+	}
+
+	clk := &vclock{t: epoch()}
+	cfg := serve.Config{
+		Workers:     1,
+		MaxBatch:    maxBatch,
+		QueueCap:    st.Requests + maxBatch + 8,
+		LingerMS:    sp.LingerMS,
+		ManualFlush: true,
+		Clock:       clk.Now,
+		Seed:        sp.Seed + int64(idx) + 1,
+		Faults:      inj,
+	}
+	if inj != nil {
+		// One bounded retry with a sub-wall-tick virtual backoff keeps the
+		// recovery path exercised without wall-clock dependence; the
+		// breaker stays off — its cooldown is wall-clock time.
+		cfg.MaxRetries = 1
+		cfg.RetryBaseMS = 0.05
+	}
+	srv, err := serve.NewServer(ex, task, cfg)
+	if err != nil {
+		return StreamRow{}, nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), streamTimeout)
+	defer cancel()
+	defer srv.Close(ctx)
+
+	rate := streamRate(st, task, ex, maxBatch)
+	arr, arrivalKind := arrivalsFor(st, task, rate, sp.Seed+int64(idx+1)*7919)
+	at := make([]time.Time, st.Requests)
+	cur := epoch()
+	for i := range at {
+		cur = cur.Add(arr.Next())
+		at[i] = cur
+	}
+
+	var results []serve.Result
+	workerFree := epoch()
+	var successBatches uint64
+	for i := 0; i < len(at); {
+		// Compose the batch the way the autonomous batcher would have: hold
+		// the window open for the oldest request's slack at the current
+		// level (capped by the linger), or until the batch fills.
+		level := srv.Level()
+		pred := ex.PredictMS(level, maxBatch)
+		hold := task.SlackMS(0, pred)
+		if hold < 0 {
+			hold = 0
+		}
+		if hold > cfg.LingerMS {
+			hold = cfg.LingerMS
+		}
+		closeAt := at[i].Add(time.Duration(hold * float64(time.Millisecond)))
+		j := i + 1
+		for j < len(at) && j-i < maxBatch && !at[j].After(closeAt) {
+			j++
+		}
+		var futs []*serve.Future
+		for k := i; k < j; k++ {
+			clk.Set(at[k])
+			f, err := srv.Submit()
+			if err != nil {
+				continue // injected admission saturation; tallied in the snapshot
+			}
+			futs = append(futs, f)
+		}
+		// The batch executes when its window closes (early if it filled) or
+		// when the single worker frees up, whichever is later.
+		flushAt := closeAt
+		if j-i >= maxBatch {
+			flushAt = at[j-1]
+		}
+		execStart := flushAt
+		if workerFree.After(execStart) {
+			execStart = workerFree
+		}
+		clk.Set(execStart)
+		moved := srv.Flush()
+		if moved != len(futs) {
+			return StreamRow{}, nil, fmt.Errorf("flush moved %d of %d pending requests", moved, len(futs))
+		}
+		busyMS := 0.0
+		failed := false
+		for _, f := range futs {
+			res, err := f.Wait(ctx)
+			if err != nil {
+				failed = true
+				continue
+			}
+			results = append(results, res)
+			busyMS = res.ExecMS
+		}
+		if len(futs) > 0 && !failed {
+			successBatches++
+			// The controller observes the batch after its futures resolve;
+			// wait for that observation (batchDone follows it) so the next
+			// round's Level() read is deterministic.
+			if err := waitBatches(ctx, srv, successBatches); err != nil {
+				return StreamRow{}, nil, err
+			}
+		}
+		if failed && busyMS == 0 {
+			busyMS = pred // failed batches still occupied the worker
+		}
+		workerFree = execStart.Add(time.Duration(busyMS * float64(time.Millisecond)))
+		i = j
+	}
+	if err := srv.Close(ctx); err != nil {
+		return StreamRow{}, nil, err
+	}
+	snap := srv.Stats()
+	counts := srv.FaultCounts()
+
+	freq := 1.0
+	if plan != nil && plan.FreqFrac > 0 {
+		freq = plan.FreqFrac
+	}
+	srow := StreamRow{
+		Task:            task.Name,
+		Class:           task.Class.String(),
+		Arrival:         arrivalKind,
+		RateRPS:         rate,
+		FreqFrac:        freq,
+		CoRunTimeX:      factor.timeX,
+		Requests:        st.Requests,
+		Submitted:       snap.Submitted,
+		Completed:       snap.Completed,
+		Failed:          snap.Failed,
+		Rejected:        snap.Rejected,
+		Batches:         snap.Batches,
+		MeanBatch:       snap.MeanBatch,
+		P50MS:           snap.P50MS,
+		P99MS:           snap.P99MS,
+		MissRate:        snap.DeadlineMissRate,
+		MeanSoC:         snap.MeanSoC,
+		MeanEntropy:     snap.MeanEntropy,
+		EnergyPerImageJ: snap.EnergyPerImageJ,
+		Escalations:     snap.Escalations,
+		Calibrations:    snap.Calibrations,
+		Recoveries:      snap.Recoveries,
+		Retries:         snap.Retries,
+		FinalLevel:      snap.Level,
+		Faults:          counts,
+	}
+	lats := make([]float64, 0, len(results))
+	for _, r := range results {
+		lats = append(lats, r.ResponseMS)
+	}
+	return srow, lats, nil
+}
+
+// waitBatches spins (yielding) until the server's executed-batch count
+// reaches want, bounding the wait by ctx.
+func waitBatches(ctx context.Context, srv *serve.Server, want uint64) error {
+	for srv.Stats().Batches < want {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("waiting for batch %d: %w", want, ctx.Err())
+		default:
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+	return nil
+}
+
+// RunMatrix runs every spec and assembles the matrix. progress, when
+// non-nil, is called before each scenario with its index and name.
+func (e *Engine) RunMatrix(specs []Spec, progress func(i int, name string)) (Matrix, error) {
+	m := Matrix{Schema: MatrixSchema, Rows: make([]Row, 0, len(specs))}
+	for i, sp := range specs {
+		if progress != nil {
+			progress(i, sp.Name)
+		}
+		row, err := e.Run(sp)
+		if err != nil {
+			return Matrix{}, err
+		}
+		m.Rows = append(m.Rows, row)
+	}
+	return m, nil
+}
+
+// workloadArrivals is a compile-time check that every process the grammar
+// hands out satisfies the workload interface.
+var _ = []workload.Arrivals{
+	(*workload.OpenArrivals)(nil),
+	(*workload.PeriodicArrivals)(nil),
+	(*workload.MMPPArrivals)(nil),
+	(*workload.TraceArrivals)(nil),
+}

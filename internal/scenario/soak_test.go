@@ -1,0 +1,153 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"pcnn/internal/fault"
+	"pcnn/internal/satisfaction"
+	"pcnn/internal/serve"
+	"pcnn/internal/workload"
+)
+
+// TestMixedArchetypeSoakConservation runs all three archetypes live — real
+// wall clock, autonomous batching, open-loop arrivals, mild chaos — for a
+// couple of seconds while a sampler hammers Stats concurrently, asserting
+// the admission conservation invariant
+//
+//	Submitted == Completed + Failed + QueueDepth
+//
+// at every sample on every server. Run under -race (the Makefile's race
+// list includes this package), it doubles as the serving pipeline's
+// cross-archetype data-race soak.
+func TestMixedArchetypeSoakConservation(t *testing.T) {
+	const (
+		soakFor = 1500 * time.Millisecond
+		rate    = 250.0 // per-stream arrivals/s
+	)
+	inj, err := fault.New(fault.Spec{Seed: 9, Launch: 0.05, Saturate: 0.03, SkewMS: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := []satisfaction.Task{
+		satisfaction.AgeDetection(),
+		satisfaction.VideoSurveillance(120),
+		satisfaction.ImageTagging(),
+	}
+	servers := make([]*serve.Server, len(tasks))
+	for i, task := range tasks {
+		var faults *fault.Injector
+		if i == 0 {
+			faults = inj // one chaotic stream keeps the failure paths hot
+		}
+		srv, err := serve.NewServer(goldenExec{}, task, serve.Config{
+			Workers:  2,
+			MaxBatch: 4,
+			QueueCap: 256,
+			// A small pace turns simulated batch time into real worker
+			// occupancy, so the soak produces genuine queue depth.
+			Pace:       0.05,
+			MaxRetries: 1,
+			Faults:     faults,
+			Seed:       int64(i) + 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = srv
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Sampler: assert conservation on every server until told to stop.
+	violation := make(chan string, 1)
+	stopSampler := make(chan struct{})
+	var samplerDone sync.WaitGroup
+	samplerDone.Add(1)
+	go func() {
+		defer samplerDone.Done()
+		samples := 0
+		for {
+			select {
+			case <-stopSampler:
+				if samples == 0 {
+					select {
+					case violation <- "sampler never sampled":
+					default:
+					}
+				}
+				return
+			default:
+			}
+			for i, srv := range servers {
+				snap := srv.Stats()
+				if snap.Submitted != snap.Completed+snap.Failed+uint64(snap.QueueDepth) {
+					select {
+					case violation <- fmt.Sprintf(
+						"server %d (%s): submitted %d != completed %d + failed %d + depth %d",
+						i, snap.Task, snap.Submitted, snap.Completed, snap.Failed, snap.QueueDepth):
+					default:
+					}
+					return
+				}
+				samples++
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+
+	// Drivers: one open-loop arrival process per archetype.
+	var drivers sync.WaitGroup
+	deadline := time.Now().Add(soakFor)
+	for i, srv := range servers {
+		drivers.Add(1)
+		go func(i int, srv *serve.Server) {
+			defer drivers.Done()
+			arr := workload.ArrivalsForTask(srv.Task(), rate, int64(i)+1)
+			var waits sync.WaitGroup
+			for time.Now().Before(deadline) {
+				time.Sleep(arr.Next())
+				f, err := srv.Submit()
+				if err != nil {
+					continue // queue-full and injected saturation are expected
+				}
+				waits.Add(1)
+				go func() {
+					defer waits.Done()
+					f.Wait(ctx) //nolint:errcheck — failures are tallied in stats
+				}()
+			}
+			waits.Wait()
+		}(i, srv)
+	}
+	drivers.Wait()
+	for _, srv := range servers {
+		if err := srv.Close(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stopSampler)
+	samplerDone.Wait()
+	select {
+	case msg := <-violation:
+		t.Fatal(msg)
+	default:
+	}
+	// After a full drain the queues must be empty and the books balanced.
+	for i, srv := range servers {
+		snap := srv.Stats()
+		if snap.QueueDepth != 0 {
+			t.Errorf("server %d drained with queue depth %d", i, snap.QueueDepth)
+		}
+		if snap.Submitted != snap.Completed+snap.Failed {
+			t.Errorf("server %d: submitted %d != completed %d + failed %d after drain",
+				i, snap.Submitted, snap.Completed, snap.Failed)
+		}
+		if snap.Submitted == 0 {
+			t.Errorf("server %d saw no traffic", i)
+		}
+	}
+}

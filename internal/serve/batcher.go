@@ -7,11 +7,6 @@ import (
 	"pcnn/internal/tensor"
 )
 
-// msSince returns the wall-clock milliseconds elapsed since t.
-func msSince(t time.Time) float64 {
-	return float64(time.Since(t)) / float64(time.Millisecond)
-}
-
 // flushTimer wraps one reusable time.Timer for the batcher's flush
 // deadline. The previous implementation allocated a fresh time.NewTimer
 // on every submitted request — per-request timer churn on the hot
@@ -77,12 +72,13 @@ func (s *Server) batcher() {
 		case r, ok := <-s.submitCh:
 			if !ok {
 				ft.disarm()
-				if len(pending) > 0 {
-					s.flush(pending)
-				}
+				s.flushChunked(pending)
 				return
 			}
 			pending = append(pending, r)
+			if s.cfg.ManualFlush {
+				continue // only Flush (or close-drain) flushes
+			}
 			if len(pending) >= s.cfg.MaxBatch {
 				ft.disarm()
 				s.flush(pending)
@@ -90,6 +86,16 @@ func (s *Server) batcher() {
 				continue
 			}
 			ft.arm(s.flushDelay(pending))
+		case done := <-s.flushReqCh:
+			// Drain everything already admitted (sitting in the buffered
+			// submit channel) into the pending batch first, so a Flush
+			// issued after N completed Submits flushes exactly those N.
+			pending, _ = s.drainSubmitted(pending)
+			ft.disarm()
+			n := len(pending)
+			s.flushChunked(pending)
+			pending = nil
+			done <- n
 		case <-ft.C:
 			ft.fired()
 			if len(pending) > 0 {
@@ -100,12 +106,43 @@ func (s *Server) batcher() {
 	}
 }
 
+// drainSubmitted moves every request buffered in the admission queue into
+// pending without blocking. The second return reports whether the submit
+// channel was seen closed.
+func (s *Server) drainSubmitted(pending []*request) ([]*request, bool) {
+	for {
+		select {
+		case r, ok := <-s.submitCh:
+			if !ok {
+				return pending, true
+			}
+			pending = append(pending, r)
+		default:
+			return pending, false
+		}
+	}
+}
+
+// flushChunked flushes pending in admission order, MaxBatch at a time, so
+// an over-full manual batch (or a close-drain backlog) still respects the
+// compiled batch cap.
+func (s *Server) flushChunked(pending []*request) {
+	for len(pending) > 0 {
+		n := len(pending)
+		if n > s.cfg.MaxBatch {
+			n = s.cfg.MaxBatch
+		}
+		s.flush(pending[:n])
+		pending = pending[n:]
+	}
+}
+
 // flushDelay returns how much longer the batcher may hold the pending
 // batch: the oldest request's remaining slack at the current level,
 // additionally capped by the linger window so tasks with lazy deadlines
 // (or none at all) still flush promptly.
 func (s *Server) flushDelay(pending []*request) time.Duration {
-	waited := msSince(pending[0].at)
+	waited := s.sinceMS(pending[0].at)
 	linger := s.cfg.LingerMS - waited
 	slack := s.task.SlackMS(waited, s.queuePredictMS(s.ctrl.Level(), len(pending)))
 	d := math.Min(slack, linger)
@@ -135,7 +172,7 @@ func (s *Server) flush(reqs []*request) {
 	level := s.ctrl.Level()
 	if !s.cfg.DisableDegrade {
 		level = s.ctrl.escalate(func(l int) bool {
-			return s.task.SlackMS(msSince(oldest.at), s.queuePredictMS(l, n)) >= 0
+			return s.task.SlackMS(s.sinceMS(oldest.at), s.queuePredictMS(l, n)) >= 0
 		})
 	}
 	for _, r := range reqs {

@@ -103,6 +103,17 @@ type Config struct {
 	// Seed roots the retry-jitter stream, so chaos scenarios replay
 	// identically. 0 means 1.
 	Seed int64
+	// Clock injects the time source request timestamps and batching waits
+	// are read from; nil means time.Now. The scenario engine drives
+	// servers on a virtual clock it advances itself, which is what makes
+	// whole-scenario queueing, escalation and latency bit-reproducible.
+	Clock func() time.Time
+	// ManualFlush disables the batcher's autonomous flushing (the linger/
+	// slack timer and the batch-full trigger): pending requests coalesce
+	// until Flush is called or Close drains. Virtual-time drivers use it
+	// to decide batch composition deterministically; live serving leaves
+	// it off.
+	ManualFlush bool
 	// Faults attaches a fault injector to the serving pipeline (injected
 	// launch failures, slow batches, corrupted outputs, admission
 	// saturation, clock skew). nil — the production default — serves clean
@@ -137,6 +148,9 @@ func (c Config) withDefaults(execMaxBatch int) Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
 	}
 	return c
 }
@@ -216,6 +230,9 @@ type Server struct {
 
 	submitCh chan *request
 	flushCh  chan *batchJob
+	// flushReqCh carries explicit Flush requests to the batcher; the
+	// reply channel resolves with how many requests the flush moved.
+	flushReqCh chan chan int
 
 	batcherDone chan struct{}
 	workers     sync.WaitGroup
@@ -253,6 +270,7 @@ func NewServer(ex Executor, task satisfaction.Task, cfg Config) (*Server, error)
 		traces:      obs.NewTraceRing(traceRingCap),
 		submitCh:    make(chan *request, cfg.QueueCap),
 		flushCh:     make(chan *batchJob, cfg.Workers),
+		flushReqCh:  make(chan chan int),
 		batcherDone: make(chan struct{}),
 		brk: newBreaker(cfg.BreakerThreshold,
 			time.Duration(cfg.BreakerCooldownMS*float64(time.Millisecond)), nil),
@@ -319,15 +337,38 @@ func (s *Server) SubmitInput(input *tensor.Tensor) (*Future, error) {
 	}
 }
 
-// stamp reads the wall clock, shifted by the injector's clock skew when
-// one is attached. Skewed timestamps exercise the negative-queue-time and
-// deadline edge cases real NTP steps produce.
+// stamp reads the configured clock, shifted by the injector's clock skew
+// when one is attached. Skewed timestamps exercise the negative-queue-time
+// and deadline edge cases real NTP steps produce.
 func (s *Server) stamp() time.Time {
-	t := time.Now()
+	t := s.cfg.Clock()
 	if s.faults != nil {
 		t = t.Add(s.faults.Skew())
 	}
 	return t
+}
+
+// sinceMS returns the clock milliseconds elapsed since t on the server's
+// configured clock.
+func (s *Server) sinceMS(t time.Time) float64 {
+	return float64(s.cfg.Clock().Sub(t)) / float64(time.Millisecond)
+}
+
+// Flush forces the batcher to flush everything pending — requests already
+// coalescing plus any sitting in the admission queue — to the worker pool
+// immediately, in admission order, chunked to MaxBatch. It blocks until
+// the hand-off happened and returns how many requests were flushed (0
+// when nothing was pending or the server is draining). Flush is how a
+// ManualFlush driver closes each batch it composed; it is also safe, if
+// rarely useful, on an autonomously flushing server.
+func (s *Server) Flush() int {
+	done := make(chan int, 1)
+	select {
+	case s.flushReqCh <- done:
+		return <-done
+	case <-s.batcherDone:
+		return 0
+	}
 }
 
 // Close stops admission, drains every accepted request through the worker

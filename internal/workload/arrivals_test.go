@@ -36,19 +36,47 @@ func TestOpenArrivalsMeanRate(t *testing.T) {
 	}
 }
 
+// TestArrivalsForTask covers all three archetypes table-driven: the
+// process kind each class maps to, the camera-rate override for real-time
+// tasks, and the defaulting of degenerate rates for open processes.
 func TestArrivalsForTask(t *testing.T) {
-	if _, ok := ArrivalsForTask(satisfaction.VideoSurveillance(30), 0, 1).(*PeriodicArrivals); !ok {
-		t.Error("surveillance should arrive periodically")
+	cases := []struct {
+		name       string
+		task       satisfaction.Task
+		rate       float64
+		wantKind   string
+		wantPeriod time.Duration // periodic processes only
+	}{
+		{"surveillance default fps", satisfaction.VideoSurveillance(30), 0, "periodic", time.Second / 30},
+		{"surveillance rate override", satisfaction.VideoSurveillance(30), 120, "periodic", time.Second / 120},
+		{"interactive poisson", satisfaction.AgeDetection(), 50, "open", 0},
+		{"interactive zero rate defaults", satisfaction.AgeDetection(), 0, "open", 0},
+		{"interactive NaN rate defaults", satisfaction.AgeDetection(), math.NaN(), "open", 0},
+		{"interactive Inf rate defaults", satisfaction.AgeDetection(), math.Inf(1), "open", 0},
+		{"background poisson", satisfaction.ImageTagging(), 50, "open", 0},
+		{"background zero rate defaults", satisfaction.ImageTagging(), 0, "open", 0},
 	}
-	if _, ok := ArrivalsForTask(satisfaction.AgeDetection(), 50, 1).(*OpenArrivals); !ok {
-		t.Error("interactive should arrive Poisson")
-	}
-	if _, ok := ArrivalsForTask(satisfaction.ImageTagging(), 50, 1).(*OpenArrivals); !ok {
-		t.Error("background should arrive Poisson")
-	}
-	// A rate override retargets the camera.
-	p := ArrivalsForTask(satisfaction.VideoSurveillance(30), 120, 1).(*PeriodicArrivals)
-	if want := time.Second / 120; p.Next() != want {
-		t.Errorf("overridden camera period %v, want %v", p.Next(), want)
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := ArrivalsForTask(c.task, c.rate, 1)
+			switch c.wantKind {
+			case "periodic":
+				p, ok := got.(*PeriodicArrivals)
+				if !ok {
+					t.Fatalf("got %T, want *PeriodicArrivals", got)
+				}
+				if p.Next() != c.wantPeriod {
+					t.Fatalf("period %v, want %v", p.Next(), c.wantPeriod)
+				}
+			case "open":
+				o, ok := got.(*OpenArrivals)
+				if !ok {
+					t.Fatalf("got %T, want *OpenArrivals", got)
+				}
+				if g := o.Next(); g < 0 {
+					t.Fatalf("negative gap %v", g)
+				}
+			}
+		})
 	}
 }

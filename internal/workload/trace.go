@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"math"
+	"time"
+)
+
+// Trace replay — arrivals recorded from a real deployment (or synthesized
+// offline, e.g. a diurnal load curve) replayed gap for gap. Replay is the
+// only way to reproduce the exact burst structure a production incident
+// saw, and the scenario matrix uses a synthesized diurnal trace as its
+// deterministic "daily cycle" arrival process.
+
+// TraceArrivals replays a recorded sequence of inter-arrival gaps,
+// looping back to the start when the trace is exhausted. It implements
+// Arrivals; Next is not safe for concurrent use.
+type TraceArrivals struct {
+	gaps []time.Duration
+	next int
+}
+
+// NewTraceArrivals builds a replay process over the recorded gaps.
+// Negative gaps are clamped to zero (timestamp traces can invert under
+// clock steps); an empty trace falls back to a single 100 ms gap.
+func NewTraceArrivals(gaps []time.Duration) *TraceArrivals {
+	clean := make([]time.Duration, 0, len(gaps))
+	for _, g := range gaps {
+		if g < 0 {
+			g = 0
+		}
+		clean = append(clean, g)
+	}
+	if len(clean) == 0 {
+		clean = []time.Duration{100 * time.Millisecond}
+	}
+	return &TraceArrivals{gaps: clean}
+}
+
+// Len returns the trace length in gaps.
+func (t *TraceArrivals) Len() int { return len(t.gaps) }
+
+// Next replays the next recorded gap, looping past the end.
+func (t *TraceArrivals) Next() time.Duration {
+	g := t.gaps[t.next]
+	t.next = (t.next + 1) % len(t.gaps)
+	return g
+}
+
+// DiurnalGaps synthesizes a deterministic diurnal trace of n gaps: the
+// instantaneous rate follows one full sinusoidal cycle over the trace,
+// from meanRate/peakFactor at the trough to meanRate·peakFactor at the
+// peak (peakFactor ≤ 1 is clamped to 2). There is no randomness — the
+// same arguments always produce the same trace, which is what makes the
+// scenario matrix's "diurnal" rows byte-reproducible.
+func DiurnalGaps(meanRate, peakFactor float64, n int) []time.Duration {
+	if meanRate <= 0 || math.IsNaN(meanRate) || math.IsInf(meanRate, 0) {
+		meanRate = 10
+	}
+	if peakFactor <= 1 || math.IsNaN(peakFactor) || math.IsInf(peakFactor, 0) {
+		peakFactor = 2
+	}
+	if n < 1 {
+		n = 1
+	}
+	gaps := make([]time.Duration, n)
+	// Rate is modulated geometrically: rate(x) = meanRate · peakFactor^sin(2πx),
+	// which keeps the rate positive for any factor and symmetric about the
+	// mean in log space.
+	for i := 0; i < n; i++ {
+		x := float64(i) / float64(n)
+		rate := meanRate * math.Pow(peakFactor, math.Sin(2*math.Pi*x))
+		gaps[i] = time.Duration(float64(time.Second) / rate)
+	}
+	return gaps
+}

@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestTraceArrivalsReplay: gaps replay in order and loop at the end;
+// negative gaps are clamped to zero; an empty trace gets a usable default.
+func TestTraceArrivalsReplay(t *testing.T) {
+	gaps := []time.Duration{time.Millisecond, 2 * time.Millisecond, -time.Millisecond}
+	tr := NewTraceArrivals(gaps)
+	want := []time.Duration{
+		time.Millisecond, 2 * time.Millisecond, 0, // clamped
+		time.Millisecond, 2 * time.Millisecond, 0, // looped
+	}
+	for i, w := range want {
+		if got := tr.Next(); got != w {
+			t.Fatalf("gap %d = %v, want %v", i, got, w)
+		}
+	}
+	if tr.Len() != 3 {
+		t.Errorf("Len = %d, want 3", tr.Len())
+	}
+	if empty := NewTraceArrivals(nil); empty.Next() <= 0 {
+		t.Error("empty trace produced a non-positive default gap")
+	}
+}
+
+// TestDiurnalGapsShape: the synthesized diurnal trace is deterministic,
+// spans one full cycle (peak rate > mean > trough rate), and its overall
+// mean rate lands near the configured mean.
+func TestDiurnalGapsShape(t *testing.T) {
+	const mean, peak = 100.0, 3.0
+	const n = 4096
+	a := DiurnalGaps(mean, peak, n)
+	b := DiurnalGaps(mean, peak, n)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("gap %d not deterministic: %v vs %v", i, a[i], b[i])
+		}
+	}
+	var total time.Duration
+	minGap, maxGap := a[0], a[0]
+	for _, g := range a {
+		if g <= 0 {
+			t.Fatalf("non-positive gap %v", g)
+		}
+		total += g
+		if g < minGap {
+			minGap = g
+		}
+		if g > maxGap {
+			maxGap = g
+		}
+	}
+	// The peak-to-trough rate swing must be ≈ peak².
+	swing := float64(maxGap) / float64(minGap)
+	if math.Abs(swing-peak*peak)/(peak*peak) > 0.05 {
+		t.Errorf("peak/trough gap ratio %.2f, want ≈%.2f", swing, peak*peak)
+	}
+	// The geometric modulation biases the arithmetic mean rate slightly
+	// below the configured mean; just require the right ballpark.
+	rate := n / total.Seconds()
+	if rate < mean/peak || rate > mean*peak {
+		t.Errorf("overall rate %.1f outside [%.1f, %.1f]", rate, mean/peak, mean*peak)
+	}
+	// Degenerate arguments are clamped, not propagated.
+	if g := DiurnalGaps(-1, 0.5, 0); len(g) != 1 || g[0] <= 0 {
+		t.Errorf("degenerate args produced %v", g)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"pcnn/internal/nn"
 	"pcnn/internal/obs"
 	"pcnn/internal/satisfaction"
+	"pcnn/internal/scenario"
 	"pcnn/internal/sched"
 	"pcnn/internal/serve"
 )
@@ -108,7 +109,28 @@ type (
 	// LaunchError is the typed kernel-launch failure the GPU layer and the
 	// serving executor surface; Injected marks chaos-injected failures.
 	LaunchError = gpu.LaunchError
+	// ScenarioSpec declares one heterogeneous-fleet scenario: a
+	// platform/network deployment serving mixed-archetype streams under
+	// DVFS, co-running interference and seeded chaos, reproducibly.
+	ScenarioSpec = scenario.Spec
+	// ScenarioStreamSpec declares one traffic stream inside a scenario.
+	ScenarioStreamSpec = scenario.StreamSpec
+	// ScenarioEngine runs scenario specs on a virtual clock; the zero
+	// value is ready and caches compilations across runs.
+	ScenarioEngine = scenario.Engine
+	// ScenarioRow is one scenario's deterministic outcome.
+	ScenarioRow = scenario.Row
+	// ScenarioMatrix is a full scenario sweep (BENCH_scenarios.json).
+	ScenarioMatrix = scenario.Matrix
 )
+
+// DefaultScenarios is the committed BENCH_scenarios.json grid: two
+// platforms × three arrival processes × chaos on/off, twelve scenarios of
+// three mixed-archetype streams each.
+func DefaultScenarios(seed int64) []ScenarioSpec { return scenario.DefaultMatrix(seed) }
+
+// SmokeScenarios is the CI gate's small scenario grid.
+func SmokeScenarios(seed int64) []ScenarioSpec { return scenario.SmokeMatrix(seed) }
 
 // NewEventLog builds a decision-event ring holding the most recent n
 // events.
