@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: ci vet build test test-short race bench bench-gemm bench-serve fuzz fuzz-blocked fuzz-predict fuzz-mmpp chaos serve-smoke scenarios scenarios-smoke
+.PHONY: ci vet build test test-short race bench bench-gemm bench-serve bench-fleet fuzz fuzz-blocked fuzz-predict fuzz-mmpp chaos serve-smoke scenarios scenarios-smoke fleet-smoke
 
 # ci is the gate every change must pass: static checks, full build, the
 # tier-1 test suite, the race detector over the packages that own the
-# parallel GEMM backend and the serving/scenario pipelines, and the
-# scenario-matrix smoke grid.
-ci: vet build test race scenarios-smoke
+# parallel GEMM backend and the serving/scenario/fleet pipelines, and the
+# scenario + fleet smoke grids.
+ci: vet build test race scenarios-smoke fleet-smoke
 
 vet:
 	$(GO) vet ./...
@@ -22,7 +22,7 @@ test-short:
 
 race:
 	$(GO) test -race ./internal/tensor/ ./internal/nn/ ./internal/serve/ ./internal/obs/ \
-		./internal/fault/ ./internal/scenario/ ./internal/workload/
+		./internal/fault/ ./internal/scenario/ ./internal/workload/ ./internal/fleet/
 
 # bench reproduces the numbers recorded in BENCH_gemm.json.
 bench:
@@ -86,3 +86,16 @@ scenarios:
 # scenarios-smoke runs the small scenario grid to stdout as a CI gate.
 scenarios-smoke:
 	$(GO) run ./cmd/pcnnd -scenarios - -grid smoke -seed 42 >/dev/null
+
+# bench-fleet regenerates the committed fleet soak (BENCH_fleet.json):
+# replica counts {1,3,5} × hedging {off,on} over a mixed
+# AlexNet+VGG+GoogLeNet trace with a mid-soak hot-swap, byte-for-byte
+# reproducible at the fixed seed.
+bench-fleet:
+	$(GO) run ./cmd/pcnnd -fleet-bench BENCH_fleet.json -seed 42
+
+# fleet-smoke runs a seconds-long fleet soak as a CI gate: it fails unless
+# request conservation holds, throughput scales with replicas, and the
+# mid-soak hot-swap attributes zero failures.
+fleet-smoke:
+	$(GO) run ./cmd/pcnnd -fleet-bench - -fleet-smoke -seed 42 >/dev/null

@@ -1,0 +1,303 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"pcnn"
+)
+
+// fleetModelTask maps each fleet-served model to its archetype task — the
+// same mixed AlexNet+VGG+GoogLeNet surface the BENCH_fleet.json soak
+// exercises.
+func fleetModelTask() map[string]pcnn.Task {
+	return map[string]pcnn.Task{
+		"AlexNet":   pcnn.VideoSurveillance(30),
+		"VGGNet":    pcnn.AgeDetection(),
+		"GoogLeNet": pcnn.ImageTagging(),
+	}
+}
+
+// buildFleet compiles every model for the platform pool, registers the
+// deployments and joins n in-process replicas round-robin over the
+// platforms.
+func buildFleet(n int, platforms []string, policy pcnn.FleetPolicy, hedge bool, cfg pcnn.ServeConfig) (*pcnn.Fleet, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("fleet: need at least 1 replica, got %d", n)
+	}
+	if len(platforms) == 0 {
+		return nil, errors.New("fleet: empty platform list")
+	}
+	pool := platforms
+	if n < len(pool) {
+		pool = pool[:n]
+	}
+	reg := pcnn.NewFleetRegistry()
+	for model, task := range fleetModelTask() {
+		d, err := pcnn.CompileFleetDeployment(model, task, pool, false)
+		if err != nil {
+			return nil, err
+		}
+		if err := reg.Register(d); err != nil {
+			return nil, err
+		}
+	}
+	fl := pcnn.NewFleet(reg, pcnn.FleetConfig{Policy: policy, Hedge: hedge})
+	for i := 0; i < n; i++ {
+		node := pcnn.NewFleetNode(fmt.Sprintf("replica-%d", i), platforms[i%len(platforms)],
+			reg, pcnn.FleetNodeConfig{Serve: cfg})
+		if err := fl.AddReplica(node); err != nil {
+			return nil, err
+		}
+	}
+	return fl, nil
+}
+
+// splitComma splits a comma-separated flag, trimming blanks.
+func splitComma(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parseFleetPolicy resolves the -fleet-policy flag.
+func parseFleetPolicy(s string) (pcnn.FleetPolicy, error) {
+	switch s {
+	case "ring", "":
+		return pcnn.FleetPolicyRing, nil
+	case "least-slack":
+		return pcnn.FleetPolicyLeastSlack, nil
+	}
+	return pcnn.FleetPolicyRing, fmt.Errorf("unknown -fleet-policy %q (want ring or least-slack)", s)
+}
+
+// runFleetDaemon serves the multi-model fleet over HTTP: POST /infer
+// routes by (model, client), GET /fleet reports membership and routing
+// counters, POST /swap hot-swaps a model's deployment, GET /metrics
+// merges every replica's serve metrics under replica labels. A background
+// sweep ejects unhealthy replicas and readmits them after cooldown.
+func runFleetDaemon(addr string, fl *pcnn.Fleet) error {
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				if ej, re := fl.CheckHealth(); ej > 0 || re > 0 {
+					log.Printf("fleet: health sweep ejected %d, readmitted %d", ej, re)
+				}
+			case <-stop:
+				return
+			}
+		}
+	}()
+	log.Printf("fleet of %d replicas serving %s on %s",
+		len(fl.Snapshot().Replicas), strings.Join(fl.Registry().Models(), "+"), addr)
+	return http.ListenAndServe(addr, newFleetHandler(fl))
+}
+
+// newFleetHandler wires the fleet HTTP API.
+func newFleetHandler(fl *pcnn.Fleet) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/infer", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		model := r.URL.Query().Get("model")
+		if model == "" {
+			model = "AlexNet"
+		}
+		client := r.URL.Query().Get("client")
+		if fl.Registry().Current(model) == nil {
+			http.Error(w, fmt.Sprintf("unknown model %q", model), http.StatusBadRequest)
+			return
+		}
+		ff, err := fl.Submit(model, client)
+		switch {
+		case errors.Is(err, pcnn.ErrQueueFull), errors.Is(err, pcnn.ErrDeadlineUnmeetable):
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+			return
+		case errors.Is(err, pcnn.ErrNoReplicas):
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		res, replica, err := ff.Wait(r.Context())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("X-Pcnn-Replica", replica)
+		w.Header().Set("Content-Type", "application/json")
+		emit(w, res)
+	})
+	mux.HandleFunc("/fleet", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		emit(w, fl.Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		snap := fl.Snapshot()
+		healthy := 0
+		for _, r := range snap.Replicas {
+			if r.Healthy && !r.Ejected {
+				healthy++
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if healthy == 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		emit(w, struct {
+			Healthy int `json:"healthy_replicas"`
+			Total   int `json:"total_replicas"`
+		}{healthy, len(snap.Replicas)})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", prometheusContentType)
+		if err := fl.WriteMetrics(w); err != nil {
+			log.Printf("metrics: %v", err)
+		}
+	})
+	mux.HandleFunc("/swap", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		model := r.URL.Query().Get("model")
+		task, ok := fleetModelTask()[model]
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown model %q", model), http.StatusBadRequest)
+			return
+		}
+		dvfs := r.URL.Query().Get("dvfs") == "1"
+		platforms := fleetPlatformsOf(fl)
+		d, err := pcnn.CompileFleetDeployment(model, task, platforms, dvfs)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if _, err := fl.Swap(d); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		// Old versions drain in the background: routing already resolves to
+		// the new deployment, retired servers finish their in-flight work.
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			if n, err := fl.DrainRetired(ctx); err != nil {
+				log.Printf("swap: drained %d retired servers with error: %v", n, err)
+			} else if n > 0 {
+				log.Printf("swap: drained %d retired servers", n)
+			}
+		}()
+		w.Header().Set("Content-Type", "application/json")
+		emit(w, struct {
+			Model   string `json:"model"`
+			Version int    `json:"version"`
+		}{model, fl.Registry().Current(model).Version})
+	})
+	return mux
+}
+
+// fleetPlatformsOf recovers the distinct platform pool from membership.
+func fleetPlatformsOf(fl *pcnn.Fleet) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range fl.Snapshot().Replicas {
+		if !seen[r.Platform] {
+			seen[r.Platform] = true
+			out = append(out, r.Platform)
+		}
+	}
+	return out
+}
+
+// runFleetBench writes the deterministic fleet soak (BENCH_fleet.json).
+// smoke shrinks the spec to seconds and enforces the acceptance
+// invariants, exiting nonzero on violation — the `make fleet-smoke` gate.
+func runFleetBench(path string, seed int64, smoke bool) error {
+	spec := pcnn.FleetSoakSpec{Seed: seed}
+	if smoke {
+		spec.RequestsPerModel = 60
+		spec.ClientsPerModel = 3
+		spec.ReplicaCounts = []int{1, 3}
+	}
+	start := time.Now()
+	rep, err := pcnn.RunFleetSoak(spec)
+	if err != nil {
+		return err
+	}
+	log.Printf("fleet soak: %d rows in %.1fs", len(rep.Rows), time.Since(start).Seconds())
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if path != "-" {
+		log.Printf("fleet soak: wrote %s", path)
+	}
+	if smoke {
+		return checkFleetSmoke(rep)
+	}
+	return nil
+}
+
+// checkFleetSmoke enforces the soak's acceptance bar: conservation per
+// row, exactly one hot-swap with zero attributable failures, and
+// throughput scaling with replica count.
+func checkFleetSmoke(rep pcnn.FleetSoakReport) error {
+	byN := map[int]float64{}
+	for _, row := range rep.Rows {
+		if row.Requests != row.Served+row.Shed+row.FailedRequests {
+			return fmt.Errorf("fleet-smoke: n=%d hedge=%v loses requests: %d != %d+%d+%d",
+				row.Replicas, row.Hedge, row.Requests, row.Served, row.Shed, row.FailedRequests)
+		}
+		if row.Submitted != row.Completed+row.Failed {
+			return fmt.Errorf("fleet-smoke: n=%d hedge=%v conservation violated", row.Replicas, row.Hedge)
+		}
+		if row.Swaps != 1 || row.SwapFailed != 0 {
+			return fmt.Errorf("fleet-smoke: n=%d hedge=%v swap not clean: swaps=%d failed=%d",
+				row.Replicas, row.Hedge, row.Swaps, row.SwapFailed)
+		}
+		if !row.Hedge {
+			byN[row.Replicas] = row.ThroughputRPS
+		}
+	}
+	var prev float64
+	for _, n := range []int{1, 3} {
+		if t, ok := byN[n]; ok {
+			if t <= prev {
+				return fmt.Errorf("fleet-smoke: throughput did not scale: n=%d %.1f rps after %.1f", n, t, prev)
+			}
+			prev = t
+		}
+	}
+	log.Printf("fleet-smoke OK: %d rows, throughput scales, swaps clean", len(rep.Rows))
+	return nil
+}

@@ -3,7 +3,7 @@
 // deadline-aware dynamic batcher, degrading gracefully under overload via
 // perforation escalation with entropy-driven calibration backtracking.
 //
-// Two modes:
+// Modes:
 //
 //	go run ./cmd/pcnnd -net AlexNet -platform TX1 -task surveillance -addr :8080
 //	    HTTP daemon: POST /infer serves one request, GET /stats reports
@@ -19,6 +19,17 @@
 //	    unless every request was served with positive mean SoC.
 //	    -bench FILE sweeps three open-loop load levels and writes
 //	    throughput/latency/miss-rate JSON.
+//
+//	go run ./cmd/pcnnd -fleet 3 -addr :8080
+//	    fleet daemon: N in-process replicas on heterogeneous platforms
+//	    serving AlexNet+VGGNet+GoogLeNet behind one endpoint. POST
+//	    /infer?model=M&client=C routes by consistent hash (hedging with
+//	    -hedge), GET /fleet reports membership and routing counters,
+//	    POST /swap?model=M&dvfs=1 hot-swaps a deployment with zero
+//	    downtime, GET /metrics merges per-replica serve metrics.
+//	    -fleet-bench FILE writes the deterministic virtual-clock soak
+//	    (BENCH_fleet.json); with -fleet-smoke it shrinks to a seconds-long
+//	    CI gate that fails unless the soak invariants hold.
 package main
 
 import (
@@ -74,6 +85,18 @@ func main() {
 			"with -scenarios: also write the matrix's Prometheus text snapshot to this file")
 		grid = flag.String("grid", "default", "scenario grid: default (12 scenarios) or smoke (4)")
 
+		fleetN = flag.Int("fleet", 0,
+			"fleet mode: N in-process replicas spread over -fleet-platforms, serving all three models (0 = single-server mode)")
+		fleetPlat = flag.String("fleet-platforms", "TitanX,K20c,GTX970m,TX1",
+			"comma-separated platform pool the fleet replicas cycle through")
+		fleetPol = flag.String("fleet-policy", "ring", "fleet fallback policy: ring or least-slack")
+		hedge    = flag.Bool("hedge", false,
+			"fleet mode: hedge to a second replica when the primary predicts a deadline miss")
+		fleetBench = flag.String("fleet-bench", "",
+			"write the deterministic fleet soak to this JSON file (- for stdout); BENCH_fleet.json's generator")
+		fleetSmoke = flag.Bool("fleet-smoke", false,
+			"with -fleet-bench: shrink the soak to seconds and exit nonzero unless its invariants hold")
+
 		faultSpec = flag.String("fault-spec", "",
 			"seeded fault injection, e.g. seed=42,launch=0.05,slow=0.1,slowx=4,corrupt=0.02,sat=0.01,skew=2.5")
 		retries   = flag.Int("retries", 0, "batch execution retries after a failure (0 = none)")
@@ -96,6 +119,36 @@ func main() {
 			log.Fatal(err)
 		}
 		return
+	}
+	if *fleetBench != "" {
+		if err := runFleetBench(*fleetBench, *seed, *fleetSmoke); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *fleetN > 0 {
+		if *addr == "" {
+			log.Fatal("-fleet needs -addr (daemon mode)")
+		}
+		policy, err := parseFleetPolicy(*fleetPol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := pcnn.ServeConfig{
+			MaxBatch: *batch, QueueCap: *queue, Workers: *workers, Pace: *pace,
+			DisableDegrade: *noDeg, Seed: *seed, RejectUnmeetable: true,
+		}
+		fl, err := buildFleet(*fleetN, splitComma(*fleetPlat), policy, *hedge, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *debug != "" {
+			go func() {
+				log.Printf("pprof on %s/debug/pprof/", *debug)
+				log.Printf("pprof listener: %v", http.ListenAndServe(*debug, debugMux()))
+			}()
+		}
+		log.Fatal(runFleetDaemon(*addr, fl))
 	}
 
 	task, err := taskByName(*taskName, *fps)

@@ -1,0 +1,620 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"pcnn/internal/satisfaction"
+	"pcnn/internal/serve"
+	"pcnn/internal/workload"
+)
+
+// SoakSchema versions BENCH_fleet.json; bump on any layout change.
+const SoakSchema = "pcnn-bench-fleet/v1"
+
+// soakTimeout bounds one grid row's wall-clock run; virtual-time serving
+// resolves in microseconds per batch, so hitting it means a deadlock.
+const soakTimeout = 5 * time.Minute
+
+// soakEpoch anchors the virtual clock; a fixed origin keeps the committed
+// benchmark byte-reproducible.
+func soakEpoch() time.Time { return time.Unix(1_700_000_000, 0).UTC() }
+
+// soakModel is one model in the soak's fixed mixed-archetype deployment
+// set: the Section V.C pairing of networks to application archetypes.
+type soakModel struct {
+	name string
+	task satisfaction.Task
+}
+
+// soakModels returns the fleet's serving mix: AlexNet frames a 30 FPS
+// surveillance camera (real-time), VGGNet answers age-detection selfies
+// (interactive), GoogLeNet chews the photo-tagging backlog (background).
+func soakModels() []soakModel {
+	return []soakModel{
+		{name: "AlexNet", task: satisfaction.VideoSurveillance(30)},
+		{name: "VGGNet", task: satisfaction.AgeDetection()},
+		{name: "GoogLeNet", task: satisfaction.ImageTagging()},
+	}
+}
+
+// SoakSpec shapes the fleet soak grid. The zero value picks the committed
+// benchmark's defaults.
+type SoakSpec struct {
+	// Seed roots every arrival draw and retry-jitter stream.
+	Seed int64 `json:"seed"`
+	// RequestsPerModel arrivals are drawn per model, split evenly across
+	// ClientsPerModel independent client streams. 0 means 240 / 6.
+	RequestsPerModel int `json:"requests_per_model"`
+	ClientsPerModel  int `json:"clients_per_model"`
+	// Load is the offered fraction of the reference fleet's (ReferenceN
+	// replicas) aggregate capacity — held constant across every grid row,
+	// so throughput scaling with N and hedging's effect at equal load both
+	// read straight off the rows. 0 means 1.1.
+	Load float64 `json:"load"`
+	// ReferenceN sizes the fleet whose capacity anchors Load. 0 means 3.
+	ReferenceN int `json:"reference_n"`
+	// ReplicaCounts are the fleet sizes to sweep. Empty means {1, 3, 5}.
+	ReplicaCounts []int `json:"replica_counts"`
+	// Platforms is the heterogeneous pool; replica i serves on
+	// Platforms[i % len]. Empty means {TitanX, K20c, GTX970m, TX1}.
+	Platforms []string `json:"platforms"`
+	// SwapAtFrac is the fraction of arrivals after which AlexNet's v2
+	// deployment (DVFS-scaled plans) hot-swaps in. 0 means 0.5; negative
+	// disables the swap.
+	SwapAtFrac float64 `json:"swap_at_frac"`
+	// LingerMS caps each server's batch window. 0 means 20.
+	LingerMS float64 `json:"linger_ms"`
+	// QueueCap bounds each server's admission queue. 0 means 512.
+	QueueCap int `json:"queue_cap"`
+}
+
+func (s SoakSpec) withDefaults() SoakSpec {
+	if s.Seed == 0 {
+		s.Seed = 42
+	}
+	if s.RequestsPerModel <= 0 {
+		s.RequestsPerModel = 240
+	}
+	if s.ClientsPerModel <= 0 {
+		s.ClientsPerModel = 6
+	}
+	if s.Load <= 0 {
+		s.Load = 1.1
+	}
+	if s.ReferenceN <= 0 {
+		s.ReferenceN = 3
+	}
+	if len(s.ReplicaCounts) == 0 {
+		s.ReplicaCounts = []int{1, 3, 5}
+	}
+	if len(s.Platforms) == 0 {
+		s.Platforms = []string{"TitanX", "K20c", "GTX970m", "TX1"}
+	}
+	if s.SwapAtFrac == 0 {
+		s.SwapAtFrac = 0.5
+	}
+	if s.LingerMS <= 0 {
+		s.LingerMS = 20
+	}
+	if s.QueueCap <= 0 {
+		s.QueueCap = 512
+	}
+	return s
+}
+
+// SoakModelRow is one model's slice of a grid row.
+type SoakModelRow struct {
+	Model    string  `json:"model"`
+	Requests int     `json:"requests"`
+	Served   int     `json:"served"`
+	MissRate float64 `json:"miss_rate"`
+	P50MS    float64 `json:"p50_ms"`
+	P99MS    float64 `json:"p99_ms"`
+}
+
+// SoakRow is one (replica count, hedging) grid cell.
+type SoakRow struct {
+	Replicas  int      `json:"replicas"`
+	Platforms []string `json:"platforms"`
+	Hedge     bool     `json:"hedge"`
+
+	OfferedRPS    float64 `json:"offered_rps"`
+	MakespanMS    float64 `json:"makespan_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+
+	// Requests = Served + Shed + FailedRequests: every arrival is answered,
+	// refused by all replicas, or lost to failed legs.
+	Requests       int `json:"requests"`
+	Served         int `json:"served"`
+	Shed           int `json:"shed"`
+	FailedRequests int `json:"failed_requests"`
+
+	// Fleet-wide serve counters summed over every server (retired ones
+	// included); Submitted == Completed + Failed after the drain.
+	Submitted          uint64 `json:"submitted"`
+	Completed          uint64 `json:"completed"`
+	Failed             uint64 `json:"failed"`
+	Rejected           uint64 `json:"rejected"`
+	RejectedUnmeetable uint64 `json:"rejected_unmeetable"`
+	RejectedQueueFull  uint64 `json:"rejected_queue_full"`
+
+	Fallbacks    uint64 `json:"fallbacks"`
+	Hedges       uint64 `json:"hedges"`
+	HedgeWins    uint64 `json:"hedge_wins"`
+	Ejections    uint64 `json:"ejections"`
+	Readmissions uint64 `json:"readmissions"`
+
+	Swaps       uint64 `json:"swaps"`
+	SwapDrained int    `json:"swap_drained"`
+	// SwapFailed counts failed requests on swap-retired servers — the
+	// zero-downtime hot-swap guarantee is SwapFailed == 0.
+	SwapFailed uint64 `json:"swap_failed"`
+
+	MissRate float64 `json:"miss_rate"`
+	P50MS    float64 `json:"p50_ms"`
+	P95MS    float64 `json:"p95_ms"`
+	P99MS    float64 `json:"p99_ms"`
+
+	Models []SoakModelRow `json:"models"`
+}
+
+// SoakReport is the committed BENCH_fleet.json document.
+type SoakReport struct {
+	Schema string   `json:"schema"`
+	Spec   SoakSpec `json:"spec"`
+	Rows   []SoakRow `json:"rows"`
+}
+
+// soakBaseLevel mirrors serve's operating-point pick: the most aggressive
+// level whose recorded entropy stays inside the task's threshold.
+func soakBaseLevel(ex serve.Executor, task satisfaction.Task) int {
+	base := 0
+	for l := 0; l < ex.Levels(); l++ {
+		if ex.Entropy(l) <= task.EntropyThreshold {
+			base = l
+		}
+	}
+	return base
+}
+
+// soakCapacityRPS prices one executor's steady-state single-worker rate at
+// its base operating point — the same Eq 12 arithmetic as
+// Server.CapacityRPS, computable before any server exists.
+func soakCapacityRPS(ex serve.Executor, task satisfaction.Task) float64 {
+	pred := ex.PredictMS(soakBaseLevel(ex, task), ex.MaxBatch())
+	if pred <= 0 {
+		return 0
+	}
+	return float64(ex.MaxBatch()) * 1000 / pred
+}
+
+// RunSoak executes the full grid — every replica count with hedging off
+// and on, same offered trace — and assembles the report. Everything runs
+// on a virtual clock: the report is byte-reproducible.
+func RunSoak(spec SoakSpec) (SoakReport, error) {
+	spec = spec.withDefaults()
+	models := soakModels()
+
+	// Compile one executor set per model (plus AlexNet's DVFS-scaled v2)
+	// across the whole platform pool; the maps are shared by every grid
+	// row, each of which registers fresh Deployments over them.
+	exV1 := make([]map[string]serve.Executor, len(models))
+	for i, m := range models {
+		ex, err := compileExecutors(m.name, m.task, spec.Platforms, false)
+		if err != nil {
+			return SoakReport{}, err
+		}
+		exV1[i] = ex
+	}
+	exV2, err := compileExecutors(models[0].name, models[0].task, spec.Platforms, true)
+	if err != nil {
+		return SoakReport{}, err
+	}
+
+	// Offered load: Load × the reference fleet's aggregate capacity per
+	// model, constant across rows.
+	offered := make([]float64, len(models))
+	for i, m := range models {
+		cap := 0.0
+		for r := 0; r < spec.ReferenceN; r++ {
+			cap += soakCapacityRPS(exV1[i][spec.Platforms[r%len(spec.Platforms)]], m.task)
+		}
+		offered[i] = spec.Load * cap
+	}
+
+	// One merged open-loop schedule shared by every row: stream s is
+	// client (s % ClientsPerModel) of model (s / ClientsPerModel).
+	var arrs []workload.Arrivals
+	var counts []int
+	for i, m := range models {
+		per := offered[i] / float64(spec.ClientsPerModel)
+		base := spec.RequestsPerModel / spec.ClientsPerModel
+		rem := spec.RequestsPerModel % spec.ClientsPerModel
+		for c := 0; c < spec.ClientsPerModel; c++ {
+			s := i*spec.ClientsPerModel + c
+			arrs = append(arrs, workload.ArrivalsForTask(m.task, per, spec.Seed+int64(s+1)*7919))
+			n := base
+			if c < rem {
+				n++
+			}
+			counts = append(counts, n)
+		}
+	}
+	events := workload.BuildSchedule(arrs, counts)
+
+	report := SoakReport{Schema: SoakSchema, Spec: spec}
+	for _, n := range spec.ReplicaCounts {
+		for _, hedge := range []bool{false, true} {
+			row, err := runSoakRow(spec, models, exV1, exV2, events, offered, n, hedge)
+			if err != nil {
+				return SoakReport{}, fmt.Errorf("fleet soak n=%d hedge=%v: %w", n, hedge, err)
+			}
+			report.Rows = append(report.Rows, row)
+		}
+	}
+	return report, nil
+}
+
+// srvSoak is the driver's view of one serve.Server: the open batch
+// window, the single worker's busy horizon, and the prediction material
+// for composing windows the way the autonomous batcher would.
+type srvSoak struct {
+	srv      *serve.Server
+	task     satisfaction.Task
+	ex       serve.Executor
+	maxBatch int
+	retired  bool // v1 server replaced by a hot-swap
+
+	pending     []*Ticket
+	windowClose time.Time
+	workerFree  time.Time
+	batches     uint64
+}
+
+// soakReq tracks one routed arrival to resolution.
+type soakReq struct {
+	ff    *FleetFuture
+	model int
+}
+
+// runSoakRow serves the shared schedule on one fleet configuration.
+func runSoakRow(spec SoakSpec, models []soakModel, exV1 []map[string]serve.Executor,
+	exV2 map[string]serve.Executor, events []workload.Event, offered []float64,
+	n int, hedge bool) (SoakRow, error) {
+
+	ctx, cancel := context.WithTimeout(context.Background(), soakTimeout)
+	defer cancel()
+
+	clk := workload.NewVirtualClock(soakEpoch())
+	reg := NewRegistry()
+	exByModel := make([]map[string]serve.Executor, len(models))
+	for i, m := range models {
+		d, err := NewDeployment(m.name, m.task, exV1[i])
+		if err != nil {
+			return SoakRow{}, err
+		}
+		if err := reg.Register(d); err != nil {
+			return SoakRow{}, err
+		}
+		exByModel[i] = exV1[i]
+	}
+	fl := New(reg, Config{Hedge: hedge, Clock: clk.Now})
+
+	row := SoakRow{Replicas: n, Hedge: hedge}
+	nodes := map[string]*Node{}
+	var nodeIDs []string
+	for i := 0; i < n; i++ {
+		platform := spec.Platforms[i%len(spec.Platforms)]
+		id := fmt.Sprintf("r%d-%s", i, platform)
+		node := NewNode(id, platform, reg, NodeConfig{Serve: serve.Config{
+			Workers:          1,
+			QueueCap:         spec.QueueCap,
+			LingerMS:         spec.LingerMS,
+			ManualFlush:      true,
+			Clock:            clk.Now,
+			Seed:             spec.Seed + int64(i+1),
+			RejectUnmeetable: true,
+		}})
+		if err := fl.AddReplica(node); err != nil {
+			return SoakRow{}, err
+		}
+		nodes[id] = node
+		nodeIDs = append(nodeIDs, id)
+		row.Platforms = append(row.Platforms, platform)
+	}
+	for _, o := range offered {
+		row.OfferedRPS += o
+	}
+	modelIdx := map[string]int{}
+	for i, m := range models {
+		modelIdx[m.name] = i
+	}
+
+	// exFor resolves the deployment executor a ticket's server runs, for
+	// window-hold prediction (v2 exists only for models[0]).
+	exFor := func(model string, version int, platform string) serve.Executor {
+		if version >= 2 && model == models[0].name {
+			return exV2[platform]
+		}
+		return exV1[modelIdx[model]][platform]
+	}
+
+	states := map[*serve.Server]*srvSoak{}
+	var order []*srvSoak
+	var reqs []soakReq
+
+	flush := func(st *srvSoak) error {
+		execStart := st.windowClose
+		if st.workerFree.After(execStart) {
+			execStart = st.workerFree
+		}
+		clk.Set(execStart)
+		moved := st.srv.Flush()
+		if moved != len(st.pending) {
+			return fmt.Errorf("flush moved %d of %d pending requests", moved, len(st.pending))
+		}
+		busyMS := 0.0
+		failed := false
+		for _, leg := range st.pending {
+			res, err := leg.Wait(ctx)
+			if err != nil {
+				failed = true
+				continue
+			}
+			busyMS = res.ExecMS
+		}
+		if !failed {
+			st.batches++
+			// The controller observes the batch after its futures resolve;
+			// wait for that observation so the next Level() read is
+			// deterministic.
+			if err := waitServeBatches(ctx, st.srv, st.batches); err != nil {
+				return err
+			}
+		}
+		if failed && busyMS == 0 {
+			busyMS = st.ex.PredictMS(st.srv.Level(), len(st.pending))
+		}
+		st.workerFree = execStart.Add(time.Duration(busyMS * float64(time.Millisecond)))
+		// Declare the simulated busy horizon: the driver resolves batches
+		// eagerly in wall-clock terms, so without this the backlog would be
+		// invisible to admission rejection and hedging predictions.
+		st.srv.SetBusyUntil(st.workerFree)
+		st.pending = nil
+		return nil
+	}
+
+	swapIdx := -1
+	if spec.SwapAtFrac >= 0 {
+		swapIdx = int(spec.SwapAtFrac * float64(len(events)))
+	}
+	swapped := false
+	i := 0
+	for i < len(events) || anyPending(order) {
+		var due *srvSoak
+		for _, st := range order {
+			if len(st.pending) > 0 && (due == nil || st.windowClose.Before(due.windowClose)) {
+				due = st
+			}
+		}
+		if i < len(events) {
+			t := soakEpoch().Add(events[i].At)
+			if due == nil || !t.After(due.windowClose) {
+				if !swapped && swapIdx >= 0 && i >= swapIdx {
+					// Hot-swap AlexNet's v2 (DVFS-scaled) deployment in
+					// mid-trace; v1 servers retire copy-on-write as each
+					// node next touches the model.
+					swapped = true
+					d2, err := NewDeployment(models[0].name, models[0].task, exV2)
+					if err != nil {
+						return SoakRow{}, err
+					}
+					if _, err := fl.Swap(d2); err != nil {
+						return SoakRow{}, err
+					}
+				}
+				clk.Set(t)
+				mIdx := events[i].Stream / spec.ClientsPerModel
+				client := fmt.Sprintf("client-%d", events[i].Stream%spec.ClientsPerModel)
+				i++
+				ff, err := fl.Submit(models[mIdx].name, client)
+				if err != nil {
+					row.Shed++
+					continue
+				}
+				reqs = append(reqs, soakReq{ff: ff, model: mIdx})
+				for _, leg := range ff.Legs() {
+					srv := leg.Server()
+					st := states[srv]
+					if st == nil {
+						platform := nodes[leg.Replica()].Platform()
+						ex := exFor(leg.Model(), leg.Version(), platform)
+						st = &srvSoak{
+							srv:      srv,
+							task:     models[modelIdx[leg.Model()]].task,
+							ex:       ex,
+							maxBatch: ex.MaxBatch(),
+						}
+						states[srv] = st
+						order = append(order, st)
+					}
+					if len(st.pending) == 0 {
+						// Open the window the way the autonomous batcher
+						// would: hold for the first request's slack at the
+						// current level, capped by the linger.
+						pred := st.ex.PredictMS(st.srv.Level(), st.maxBatch)
+						hold := st.task.SlackMS(0, pred)
+						if hold < 0 {
+							hold = 0
+						}
+						if math.IsInf(hold, 1) || hold > spec.LingerMS {
+							hold = spec.LingerMS
+						}
+						st.windowClose = t.Add(time.Duration(hold * float64(time.Millisecond)))
+					}
+					st.pending = append(st.pending, leg)
+					if len(st.pending) >= st.maxBatch {
+						// A filled window flushes immediately, like the
+						// autonomous batcher's batch-full trigger; deferring
+						// could let a same-timestamp arrival overfill the
+						// window into a chunked flush.
+						st.windowClose = t
+						if err := flush(st); err != nil {
+							return SoakRow{}, err
+						}
+					}
+				}
+				continue
+			}
+		}
+		if err := flush(due); err != nil {
+			return SoakRow{}, err
+		}
+	}
+
+	// Drain swap-retired servers: every window already flushed, so Close
+	// only reaps the pipeline. Failures here would be swap-attributable.
+	for _, id := range nodeIDs {
+		for _, srv := range nodes[id].TakeRetired() {
+			row.SwapDrained++
+			if st := states[srv]; st != nil {
+				st.retired = true
+			}
+			if err := srv.Close(ctx); err != nil {
+				return SoakRow{}, err
+			}
+		}
+	}
+
+	// Resolve every routed request to its winning leg.
+	perModel := make([][]float64, len(models))
+	perModelMiss := make([]int, len(models))
+	perModelReqs := make([]int, len(models))
+	var lats []float64
+	missed := 0
+	for _, rq := range reqs {
+		perModelReqs[rq.model]++
+		res, _, err := rq.ff.Wait(ctx)
+		if err != nil {
+			row.FailedRequests++
+			continue
+		}
+		row.Served++
+		lats = append(lats, res.ResponseMS)
+		perModel[rq.model] = append(perModel[rq.model], res.ResponseMS)
+		if !res.DeadlineMet {
+			missed++
+			perModelMiss[rq.model]++
+		}
+	}
+	row.Requests = len(events)
+
+	// Fleet-wide serve totals over every server that took traffic.
+	makespan := soakEpoch().Add(events[len(events)-1].At)
+	for _, st := range order {
+		snap := st.srv.Stats()
+		row.Submitted += snap.Submitted
+		row.Completed += snap.Completed
+		row.Failed += snap.Failed
+		row.Rejected += snap.Rejected
+		row.RejectedUnmeetable += snap.RejectedUnmeetable
+		row.RejectedQueueFull += snap.RejectedQueueFull
+		if st.retired {
+			row.SwapFailed += snap.Failed
+		}
+		if snap.QueueDepth != 0 {
+			return SoakRow{}, fmt.Errorf("server drained with queue depth %d", snap.QueueDepth)
+		}
+		if snap.Submitted != snap.Completed+snap.Failed {
+			return SoakRow{}, fmt.Errorf("conservation violated: %d submitted != %d completed + %d failed",
+				snap.Submitted, snap.Completed, snap.Failed)
+		}
+		if st.workerFree.After(makespan) {
+			makespan = st.workerFree
+		}
+	}
+	row.MakespanMS = float64(makespan.Sub(soakEpoch())) / float64(time.Millisecond)
+	if row.MakespanMS > 0 {
+		row.ThroughputRPS = float64(row.Served) / (row.MakespanMS / 1000)
+	}
+	if row.Served > 0 {
+		row.MissRate = float64(missed) / float64(row.Served)
+	}
+	row.P50MS, row.P95MS, row.P99MS = soakPercentiles(lats)
+
+	fsnap := fl.Snapshot()
+	row.Fallbacks = fsnap.Fallbacks
+	row.Hedges = fsnap.Hedges
+	row.HedgeWins = fsnap.HedgeWins
+	row.Ejections = fsnap.Ejections
+	row.Readmissions = fsnap.Readmissions
+	row.Swaps = fsnap.Swaps
+
+	for m := range models {
+		p50, _, p99 := soakPercentiles(perModel[m])
+		mr := SoakModelRow{
+			Model:    models[m].name,
+			Requests: perModelReqs[m],
+			Served:   len(perModel[m]),
+			P50MS:    p50,
+			P99MS:    p99,
+		}
+		if mr.Served > 0 {
+			mr.MissRate = float64(perModelMiss[m]) / float64(mr.Served)
+		}
+		row.Models = append(row.Models, mr)
+	}
+
+	if err := fl.Close(ctx); err != nil {
+		return SoakRow{}, err
+	}
+	return row, nil
+}
+
+// anyPending reports whether any server still holds an open batch window.
+func anyPending(order []*srvSoak) bool {
+	for _, st := range order {
+		if len(st.pending) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// waitServeBatches spins (yielding) until the server's executed-batch
+// count reaches want, bounding the wait by ctx.
+func waitServeBatches(ctx context.Context, srv *serve.Server, want uint64) error {
+	for srv.Stats().Batches < want {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("waiting for batch %d: %w", want, ctx.Err())
+		default:
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+	return nil
+}
+
+// soakPercentiles returns the 50th/95th/99th percentiles of the sample.
+func soakPercentiles(sample []float64) (p50, p95, p99 float64) {
+	if len(sample) == 0 {
+		return 0, 0, 0
+	}
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	at := func(p float64) float64 {
+		i := int(math.Ceil(p*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	return at(0.50), at(0.95), at(0.99)
+}

@@ -1,0 +1,88 @@
+package fleet
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// smallSoak keeps test runtime down while exercising every soak feature:
+// heterogeneous replicas, all three archetypes, a mid-trace hot-swap and
+// both hedging arms.
+func smallSoak() SoakSpec {
+	return SoakSpec{
+		RequestsPerModel: 60,
+		ClientsPerModel:  3,
+		ReplicaCounts:    []int{1, 3},
+	}
+}
+
+func TestSoakSmoke(t *testing.T) {
+	rep, err := RunSoak(smallSoak())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("want 4 grid rows, got %d", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row.Requests != row.Served+row.Shed+row.FailedRequests {
+			t.Errorf("n=%d hedge=%v: %d requests != %d served + %d shed + %d failed",
+				row.Replicas, row.Hedge, row.Requests, row.Served, row.Shed, row.FailedRequests)
+		}
+		if row.Submitted != row.Completed+row.Failed {
+			t.Errorf("n=%d hedge=%v: conservation violated: %d != %d + %d",
+				row.Replicas, row.Hedge, row.Submitted, row.Completed, row.Failed)
+		}
+		if row.Swaps != 1 {
+			t.Errorf("n=%d hedge=%v: want 1 hot-swap, got %d", row.Replicas, row.Hedge, row.Swaps)
+		}
+		if row.SwapFailed != 0 {
+			t.Errorf("n=%d hedge=%v: hot-swap attributed %d failures, want 0",
+				row.Replicas, row.Hedge, row.SwapFailed)
+		}
+		if row.Served == 0 {
+			t.Errorf("n=%d hedge=%v: served nothing", row.Replicas, row.Hedge)
+		}
+	}
+	// Throughput must scale with replicas (same offered load, hedging off).
+	var t1, t3 float64
+	for _, row := range rep.Rows {
+		if row.Hedge {
+			continue
+		}
+		switch row.Replicas {
+		case 1:
+			t1 = row.ThroughputRPS
+		case 3:
+			t3 = row.ThroughputRPS
+		}
+	}
+	if t3 <= t1 {
+		t.Errorf("throughput did not scale: n=1 %.2f rps vs n=3 %.2f rps", t1, t3)
+	}
+}
+
+// TestSoakDeterministic pins byte-reproducibility: two full runs of the
+// same spec must serialize identically.
+func TestSoakDeterministic(t *testing.T) {
+	spec := smallSoak()
+	a, err := RunSoak(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSoak(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ja) != string(jb) {
+		t.Fatalf("soak not byte-reproducible:\nrun A: %s\nrun B: %s", ja, jb)
+	}
+}

@@ -20,25 +20,6 @@ import (
 // resolves in microseconds per batch, so hitting this means a deadlock.
 const streamTimeout = 2 * time.Minute
 
-// vclock is the mutex-guarded settable clock the engine advances and the
-// server reads (request stamps, flush-time slack, worker exec stamps).
-type vclock struct {
-	mu sync.Mutex
-	t  time.Time
-}
-
-func (c *vclock) Now() time.Time {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.t
-}
-
-func (c *vclock) Set(t time.Time) {
-	c.mu.Lock()
-	c.t = t
-	c.mu.Unlock()
-}
-
 // planKey identifies one compiled deployment in the engine's caches.
 // ApplyDVFS mutates the plan it scales, so the DVFS variant is a separate
 // compilation, never a toggle on a shared plan.
@@ -308,7 +289,7 @@ func (e *Engine) runStream(sp Spec, idx int, st StreamSpec, task satisfaction.Ta
 		}
 	}
 
-	clk := &vclock{t: epoch()}
+	clk := workload.NewVirtualClock(epoch())
 	cfg := serve.Config{
 		Workers:     1,
 		MaxBatch:    maxBatch,

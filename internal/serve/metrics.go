@@ -65,6 +65,14 @@ func newMetrics(reg *obs.Registry, s *Server) *serveMetrics {
 		s.st.counterFn(func(st *stats) uint64 { return st.failed }),
 		obs.Label{Key: "outcome", Value: "failed"})
 
+	const rejHelp = "Requests rejected at admission, by reason."
+	for r := rejectReason(0); r < numRejectReasons; r++ {
+		r := r
+		reg.CounterFunc("pcnn_serve_rejected_total", rejHelp,
+			s.st.counterFn(func(st *stats) uint64 { return st.rejects[r] }),
+			obs.Label{Key: "reason", Value: r.String()})
+	}
+
 	reg.CounterFunc("pcnn_serve_deadline_miss_total",
 		"Completed requests whose response time exceeded the task deadline.",
 		s.st.counterFn(func(st *stats) uint64 { return st.missed }))

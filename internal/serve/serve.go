@@ -50,6 +50,11 @@ var (
 	// ErrBreakerOpen fails a batch fast while the circuit breaker is open
 	// (or while another attempt holds the half-open probe slot).
 	ErrBreakerOpen = errors.New("serve: circuit breaker open")
+	// ErrDeadlineUnmeetable is returned at admission (Config.RejectUnmeetable)
+	// when the Eq 12 predicted completion time already exceeds the request's
+	// deadline even at the deepest degradation level: accepting it could only
+	// poison the queue for requests that still have a chance.
+	ErrDeadlineUnmeetable = errors.New("serve: deadline unmeetable at admission")
 	// ErrExecTimeout fails a batch execution attempt that outran the
 	// configured per-attempt timeout.
 	ErrExecTimeout = errors.New("serve: execution timed out")
@@ -108,6 +113,12 @@ type Config struct {
 	// servers on a virtual clock it advances itself, which is what makes
 	// whole-scenario queueing, escalation and latency bit-reproducible.
 	Clock func() time.Time
+	// RejectUnmeetable turns on slack-aware early rejection: Submit answers
+	// ErrDeadlineUnmeetable when the predicted completion time — queue ahead
+	// plus own execution, both at the deepest reachable degradation level —
+	// already exceeds the task deadline at submit time. Off by default:
+	// deadline pressure then degrades or misses instead of shedding.
+	RejectUnmeetable bool
 	// ManualFlush disables the batcher's autonomous flushing (the linger/
 	// slack timer and the batch-full trigger): pending requests coalesce
 	// until Flush is called or Close drains. Virtual-time drivers use it
@@ -239,6 +250,9 @@ type Server struct {
 
 	nextID   atomic.Uint64
 	inflight atomic.Int64 // batches flushed but not yet executed
+	// busyUntil is the externally-declared worker-occupancy horizon
+	// (UnixNano; 0 = none) virtual-time drivers feed predictions with.
+	busyUntil atomic.Int64
 
 	// brk fail-fasts batch execution after consecutive failures; faults is
 	// the (possibly nil) chaos injector threaded through the pipeline.
@@ -272,8 +286,10 @@ func NewServer(ex Executor, task satisfaction.Task, cfg Config) (*Server, error)
 		flushCh:     make(chan *batchJob, cfg.Workers),
 		flushReqCh:  make(chan chan int),
 		batcherDone: make(chan struct{}),
+		// The breaker reads the configured clock, so virtual-time drivers
+		// (scenario engine, fleet soak) get deterministic cooldown windows.
 		brk: newBreaker(cfg.BreakerThreshold,
-			time.Duration(cfg.BreakerCooldownMS*float64(time.Millisecond)), nil),
+			time.Duration(cfg.BreakerCooldownMS*float64(time.Millisecond)), cfg.Clock),
 		faults:   cfg.Faults,
 		retryRng: rand.New(rand.NewSource(cfg.Seed)),
 	}
@@ -321,8 +337,12 @@ func (s *Server) SubmitInput(input *tensor.Tensor) (*Future, error) {
 	}
 	if s.faults.Saturate() {
 		// Injected queue saturation: reject as if the queue were full.
-		s.st.rejectedInc()
+		s.st.rejectedInc(rejectSaturated)
 		return nil, ErrQueueFull
+	}
+	if s.cfg.RejectUnmeetable && s.task.SlackMS(0, s.admitPredictMS()) < 0 {
+		s.st.rejectedInc(rejectUnmeetable)
+		return nil, ErrDeadlineUnmeetable
 	}
 	// Mark before the send: the channel hand-off transfers trace
 	// ownership to the batcher, so no mark may follow it here.
@@ -332,9 +352,76 @@ func (s *Server) SubmitInput(input *tensor.Tensor) (*Future, error) {
 		s.st.submittedInc()
 		return r.fut, nil
 	default:
-		s.st.rejectedInc()
+		s.st.rejectedInc(rejectQueueFull)
 		return nil, ErrQueueFull
 	}
+}
+
+// predictQueueMS estimates how long a request submitted right now would
+// take to complete at a level: any externally-declared worker occupancy,
+// plus the accepted-but-unresolved backlog grouped into MaxBatch-sized
+// batches spread across the worker pool, plus the request's own batch. It
+// costs two Eq 12 evaluations and one lock.
+func (s *Server) predictQueueMS(level int) float64 {
+	depth := s.st.queueDepth()
+	ahead := float64(depth/s.cfg.MaxBatch) *
+		s.ex.PredictMS(level, s.cfg.MaxBatch) / float64(s.cfg.Workers)
+	own := depth%s.cfg.MaxBatch + 1
+	return s.busyMS() + ahead + s.ex.PredictMS(level, own)
+}
+
+// SetBusyUntil declares worker occupancy the server cannot observe
+// itself: a virtual-time driver resolves executed batches immediately in
+// wall-clock terms, so the simulated busy horizon it tracks would
+// otherwise be invisible to admission control and completion prediction.
+// Live serving never calls this — there the in-queue depth carries the
+// backlog. The declared horizon naturally expires as the clock passes t.
+func (s *Server) SetBusyUntil(t time.Time) {
+	s.busyUntil.Store(t.UnixNano())
+}
+
+// busyMS returns the declared occupancy horizon remaining from now, in
+// clock milliseconds (0 when unset or already passed).
+func (s *Server) busyMS() float64 {
+	nano := s.busyUntil.Load()
+	if nano == 0 {
+		return 0
+	}
+	ms := float64(nano-s.cfg.Clock().UnixNano()) / float64(time.Millisecond)
+	if ms < 0 {
+		return 0
+	}
+	return ms
+}
+
+// PredictCompletionMS is the Eq 12 completion estimate for a request
+// submitted now at the current degradation level — the routing signal a
+// fleet load balancer compares across replicas (and hedges on).
+func (s *Server) PredictCompletionMS() float64 {
+	return s.predictQueueMS(s.ctrl.Level())
+}
+
+// admitPredictMS prices admission at the *deepest* level escalation could
+// reach (the cheapest possible execution), so early rejection only sheds
+// requests graceful degradation could not have saved. With degradation
+// disabled the pinned level is the only one available.
+func (s *Server) admitPredictMS() float64 {
+	level := s.ex.Levels() - 1
+	if s.cfg.DisableDegrade {
+		level = s.ctrl.Level()
+	}
+	return s.predictQueueMS(level)
+}
+
+// CapacityRPS is the replica's steady-state serving capacity at its base
+// operating point: full batches at the Eq 12 predicted rate across the
+// worker pool. Fleet routing derives ring weights from it.
+func (s *Server) CapacityRPS() float64 {
+	pred := s.ex.PredictMS(s.ctrl.Base(), s.cfg.MaxBatch)
+	if pred <= 0 {
+		return 0
+	}
+	return float64(s.cfg.MaxBatch) * 1000 / pred * float64(s.cfg.Workers)
 }
 
 // stamp reads the configured clock, shifted by the injector's clock skew

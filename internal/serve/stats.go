@@ -19,6 +19,30 @@ const latSample = 16384
 // lifetime average stays available as LifetimeRPS.
 const throughputWindowSec = 30
 
+// rejectReason tags why admission refused a request; the values index
+// stats.rejects and label pcnn_serve_rejected_total.
+type rejectReason int
+
+const (
+	rejectQueueFull rejectReason = iota
+	rejectUnmeetable
+	rejectSaturated
+	numRejectReasons
+)
+
+// String names the reason the way the metric label does.
+func (r rejectReason) String() string {
+	switch r {
+	case rejectQueueFull:
+		return "queue_full"
+	case rejectUnmeetable:
+		return "unmeetable"
+	case rejectSaturated:
+		return "saturated"
+	}
+	return "unknown"
+}
+
 // stats accumulates serving metrics. All methods are safe for concurrent
 // use.
 type stats struct {
@@ -28,6 +52,7 @@ type stats struct {
 	win       *obs.RateWindow
 	submitted uint64
 	rejected  uint64
+	rejects   [numRejectReasons]uint64
 	completed uint64
 	failed    uint64
 	batches   uint64
@@ -90,9 +115,10 @@ func (s *stats) queueDepth() int {
 	return int(s.inQueue)
 }
 
-func (s *stats) rejectedInc() {
+func (s *stats) rejectedInc(reason rejectReason) {
 	s.mu.Lock()
 	s.rejected++
+	s.rejects[reason]++
 	s.mu.Unlock()
 }
 
@@ -185,9 +211,15 @@ type Snapshot struct {
 	Task  string `json:"task"`
 	Class string `json:"class"`
 
-	Submitted      uint64 `json:"submitted"`
-	Rejected       uint64 `json:"rejected"`
-	Completed      uint64 `json:"completed"`
+	Submitted uint64 `json:"submitted"`
+	Rejected  uint64 `json:"rejected"`
+	// The per-reason rejection split: queue at capacity, slack-aware early
+	// rejection (ErrDeadlineUnmeetable), and injected saturation faults.
+	// They sum to Rejected.
+	RejectedQueueFull  uint64 `json:"rejected_queue_full"`
+	RejectedUnmeetable uint64 `json:"rejected_unmeetable"`
+	RejectedSaturated  uint64 `json:"rejected_saturated"`
+	Completed          uint64 `json:"completed"`
 	Failed         uint64 `json:"failed"`
 	Batches        uint64 `json:"batches"`
 	DemotedBatches uint64 `json:"demoted_batches"`
@@ -232,9 +264,12 @@ func (s *stats) snapshot(task satisfaction.Task, level int, esc, cal, rec uint64
 	snap := Snapshot{
 		Task:           task.Name,
 		Class:          task.Class.String(),
-		Submitted:      s.submitted,
-		Rejected:       s.rejected,
-		Completed:      s.completed,
+		Submitted:          s.submitted,
+		Rejected:           s.rejected,
+		RejectedQueueFull:  s.rejects[rejectQueueFull],
+		RejectedUnmeetable: s.rejects[rejectUnmeetable],
+		RejectedSaturated:  s.rejects[rejectSaturated],
+		Completed:          s.completed,
 		Failed:         s.failed,
 		Batches:        s.batches,
 		DemotedBatches: s.demoted,

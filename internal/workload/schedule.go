@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// VirtualClock is a mutex-guarded settable time source. Deterministic
+// drivers (the scenario engine, the fleet soak) inject Now into
+// serve.Config.Clock and advance the clock themselves, which is what makes
+// whole-run queueing, batching and latency bit-reproducible.
+type VirtualClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewVirtualClock starts a clock at t.
+func NewVirtualClock(t time.Time) *VirtualClock { return &VirtualClock{t: t} }
+
+// Now reads the clock.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Set moves the clock to t.
+func (c *VirtualClock) Set(t time.Time) {
+	c.mu.Lock()
+	c.t = t
+	c.mu.Unlock()
+}
+
+// Event is one arrival in a merged multi-stream schedule: the offset from
+// the schedule's origin and the index of the stream it belongs to.
+type Event struct {
+	At     time.Duration
+	Stream int
+}
+
+// BuildSchedule draws counts[i] arrivals from arrivals[i] (each stream's
+// first arrival lands after its first gap) and merges every stream into
+// one global timeline, sorted by time with the stream index breaking ties
+// — the open-loop trace a fleet router serves. The result is fully
+// deterministic given deterministic arrival processes.
+func BuildSchedule(arrivals []Arrivals, counts []int) []Event {
+	total := 0
+	for _, n := range counts {
+		if n > 0 {
+			total += n
+		}
+	}
+	events := make([]Event, 0, total)
+	for s, arr := range arrivals {
+		n := 0
+		if s < len(counts) {
+			n = counts[s]
+		}
+		var at time.Duration
+		for i := 0; i < n; i++ {
+			at += arr.Next()
+			events = append(events, Event{At: at, Stream: s})
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].At != events[j].At {
+			return events[i].At < events[j].At
+		}
+		return events[i].Stream < events[j].Stream
+	})
+	return events
+}

@@ -23,6 +23,7 @@ import (
 	"pcnn/internal/compile"
 	"pcnn/internal/core"
 	"pcnn/internal/fault"
+	"pcnn/internal/fleet"
 	"pcnn/internal/gpu"
 	"pcnn/internal/nn"
 	"pcnn/internal/obs"
@@ -122,7 +123,85 @@ type (
 	ScenarioRow = scenario.Row
 	// ScenarioMatrix is a full scenario sweep (BENCH_scenarios.json).
 	ScenarioMatrix = scenario.Matrix
+	// Fleet is the distributed serving tier: consistent-hash routing with
+	// capacity-weighted virtual nodes, health-driven ejection, hedged
+	// retries and hot-swappable model deployments across replicas.
+	Fleet = fleet.Fleet
+	// FleetConfig tunes the fleet router (policy, hedging, readmission
+	// cooldown, clock injection).
+	FleetConfig = fleet.Config
+	// FleetPolicy selects how fallback replicas are ordered.
+	FleetPolicy = fleet.Policy
+	// FleetRegistry is the versioned copy-on-write model/plan store behind
+	// zero-downtime hot-swap.
+	FleetRegistry = fleet.Registry
+	// FleetDeployment is one model version compiled for every platform the
+	// fleet spans.
+	FleetDeployment = fleet.Deployment
+	// FleetReplica is one serving target the fleet routes to.
+	FleetReplica = fleet.Replica
+	// FleetNode is an in-process replica: one Server per registered model.
+	FleetNode = fleet.Node
+	// FleetNodeConfig shapes the servers a fleet node builds.
+	FleetNodeConfig = fleet.NodeConfig
+	// FleetHTTPReplica routes to an out-of-process pcnnd daemon.
+	FleetHTTPReplica = fleet.HTTPReplica
+	// FleetFuture resolves a routed (possibly hedged) fleet request.
+	FleetFuture = fleet.FleetFuture
+	// FleetTicket is one submitted request leg (memoizing Wait).
+	FleetTicket = fleet.Ticket
+	// FleetSnapshot is the GET /fleet status view.
+	FleetSnapshot = fleet.FleetSnapshot
+	// FleetSoakSpec parameterizes the deterministic virtual-clock fleet
+	// soak behind BENCH_fleet.json.
+	FleetSoakSpec = fleet.SoakSpec
+	// FleetSoakReport is the soak's byte-reproducible result.
+	FleetSoakReport = fleet.SoakReport
 )
+
+// Fleet fallback policies.
+const (
+	// FleetPolicyRing walks the consistent-hash ring for fallbacks.
+	FleetPolicyRing = fleet.PolicyRing
+	// FleetPolicyLeastSlack orders fallbacks by predicted completion.
+	FleetPolicyLeastSlack = fleet.PolicyLeastSlack
+)
+
+// NewFleet assembles a fleet router over a shared model registry.
+func NewFleet(reg *FleetRegistry, cfg FleetConfig) *Fleet { return fleet.New(reg, cfg) }
+
+// NewFleetRegistry returns an empty versioned model registry.
+func NewFleetRegistry() *FleetRegistry { return fleet.NewRegistry() }
+
+// NewFleetNode builds an in-process replica identity on a platform,
+// serving whatever the registry holds.
+func NewFleetNode(id, platform string, reg *FleetRegistry, cfg FleetNodeConfig) *FleetNode {
+	return fleet.NewNode(id, platform, reg, cfg)
+}
+
+// NewFleetDeployment assembles a deployment from per-platform executors.
+func NewFleetDeployment(model string, task Task, executors map[string]serve.Executor) (*FleetDeployment, error) {
+	return fleet.NewDeployment(model, task, executors)
+}
+
+// CompileFleetDeployment compiles a model for a task on every named
+// platform — the production path onto the fleet. dvfs additionally
+// applies the DVFS frequency ladder (a distinguishable recompilation,
+// useful for exercising hot-swap).
+func CompileFleetDeployment(model string, task Task, platforms []string, dvfs bool) (*FleetDeployment, error) {
+	return fleet.CompileDeployment(model, task, platforms, dvfs)
+}
+
+// NewFleetHTTPReplica points a replica identity at a remote pcnnd
+// daemon's base URL with a static ring weight (0 = mean).
+func NewFleetHTTPReplica(id, platform, baseURL string, weight float64) *FleetHTTPReplica {
+	return fleet.NewHTTPReplica(id, platform, baseURL, weight, nil)
+}
+
+// RunFleetSoak drives the deterministic virtual-clock fleet soak
+// (BENCH_fleet.json): a replica-count × hedging grid over a mixed
+// AlexNet+VGG+GoogLeNet trace with a mid-trace hot-swap.
+func RunFleetSoak(spec FleetSoakSpec) (FleetSoakReport, error) { return fleet.RunSoak(spec) }
 
 // DefaultScenarios is the committed BENCH_scenarios.json grid: two
 // platforms × three arrival processes × chaos on/off, twelve scenarios of
@@ -150,6 +229,12 @@ var (
 	// ErrFaultInjected is the sentinel cause of injected failures
 	// (errors.Is distinguishes chaos from genuine simulator errors).
 	ErrFaultInjected = fault.ErrInjected
+	// ErrDeadlineUnmeetable is slack-aware early rejection: admission
+	// refuses a request whose predicted completion already exceeds its
+	// deadline (ServeConfig.RejectUnmeetable).
+	ErrDeadlineUnmeetable = serve.ErrDeadlineUnmeetable
+	// ErrNoReplicas is returned by Fleet.Submit on an empty fleet.
+	ErrNoReplicas = fleet.ErrNoReplicas
 )
 
 // ParseFaultSpec parses the -fault-spec grammar, comma-separated
