@@ -63,17 +63,22 @@ chaos:
 	$(GO) test -race -count=1 ./internal/serve/ \
 		-run 'TestNoResolutionAfterCloseDrain|TestBreakerLifecycleServing|TestSoakConservation|TestExecTimeoutFailsAttempt'
 
-# serve-smoke boots the serving daemon's closed-loop generator against the
-# simulator and fails unless all 100 requests complete with positive SoC.
+# serve-smoke gates the serving pipeline twice: the closed-loop generator
+# must serve every accepted request with positive SoC, and the virtual-clock
+# load sweep must show cross-stream batching engaged at capacity
+# (mean batch > 1) with the 2x-overload miss rate bounded under 50%.
 serve-smoke:
 	$(GO) run ./cmd/pcnnd -net AlexNet -platform TX1 -task surveillance \
 		-load closed -n 100 -smoke
+	$(GO) run ./cmd/pcnnd -net AlexNet -platform TX1 -task surveillance \
+		-n 300 -seed 42 -smoke -bench $$(mktemp)
 
-# bench-serve reproduces the numbers recorded in BENCH_serve.json: an
-# open-loop sweep at 0.5x / 1x / 2x of the compiled plan's capacity.
+# bench-serve reproduces the numbers recorded in BENCH_serve.json: a
+# deterministic virtual-clock open-loop sweep at 0.5x / 1x / 2x of the
+# server's steady-state capacity, byte-reproducible at the fixed seed.
 bench-serve:
 	$(GO) run ./cmd/pcnnd -net AlexNet -platform TX1 -task surveillance \
-		-load open -n 300 -pace 1 -bench BENCH_serve.json
+		-n 300 -seed 42 -bench BENCH_serve.json
 
 # scenarios regenerates the committed heterogeneous-fleet matrix
 # (BENCH_scenarios.json + BENCH_scenarios.prom): platforms × arrival

@@ -267,9 +267,14 @@ func (e *Engine) Run(sp Spec) (Row, error) {
 func (e *Engine) runStream(sp Spec, idx int, st StreamSpec, task satisfaction.Task,
 	ex serve.Executor, plan *compile.Plan, factor corunFactor) (StreamRow, []float64, error) {
 
+	// The deadline-aware cap, not the plan's compiled batch: a surveillance
+	// plan compiled for per-frame arrival carries batch 1, which used to pin
+	// every stream to singleton flushes regardless of how many requests the
+	// window coalesced.
+	cap := serve.BatchCap(ex, task)
 	maxBatch := sp.MaxBatch
-	if maxBatch <= 0 || maxBatch > ex.MaxBatch() {
-		maxBatch = ex.MaxBatch()
+	if maxBatch <= 0 || maxBatch > cap {
+		maxBatch = cap
 	}
 	if maxBatch < 1 {
 		maxBatch = 1
@@ -291,14 +296,15 @@ func (e *Engine) runStream(sp Spec, idx int, st StreamSpec, task satisfaction.Ta
 
 	clk := workload.NewVirtualClock(epoch())
 	cfg := serve.Config{
-		Workers:     1,
-		MaxBatch:    maxBatch,
-		QueueCap:    st.Requests + maxBatch + 8,
-		LingerMS:    sp.LingerMS,
-		ManualFlush: true,
-		Clock:       clk.Now,
-		Seed:        sp.Seed + int64(idx) + 1,
-		Faults:      inj,
+		Workers:          1,
+		MaxBatch:         maxBatch,
+		QueueCap:         st.Requests + maxBatch + 8,
+		LingerMS:         sp.LingerMS,
+		ManualFlush:      true,
+		Clock:            clk.Now,
+		Seed:             sp.Seed + int64(idx) + 1,
+		RejectUnmeetable: !sp.DisableReject,
+		Faults:           inj,
 	}
 	if inj != nil {
 		// One bounded retry with a sub-wall-tick virtual backoff keeps the

@@ -84,10 +84,16 @@ type Spec struct {
 	// retry jitter, per-stream fault injectors); 0 means 1.
 	Seed int64 `json:"seed"`
 
-	// MaxBatch caps batch coalescing (0 = the plan's compiled batch);
-	// LingerMS bounds how long a partial batch waits (0 = 20 ms).
+	// MaxBatch caps batch coalescing (0 = the deadline-aware BatchCap for
+	// the stream's executor and task); LingerMS bounds how long a partial
+	// batch waits (0 = 20 ms).
 	MaxBatch int     `json:"max_batch,omitempty"`
 	LingerMS float64 `json:"linger_ms,omitempty"`
+
+	// DisableReject turns slack-aware early rejection off, so overload
+	// shows up as deadline misses instead of shed arrivals — the control
+	// configuration. The zero value serves with rejection on.
+	DisableReject bool `json:"no_reject,omitempty"`
 }
 
 // withDefaults fills the documented zero-value defaults.

@@ -7,6 +7,21 @@ import (
 	"pcnn/internal/tensor"
 )
 
+// batcherTimer is the flush-deadline timer seam. flushTimer is the
+// production implementation; tests inject a hand-fired fake to pin the
+// flush-vs-submit interleavings (stale fires, premature fires) without
+// wall-clock races.
+type batcherTimer interface {
+	// arm schedules a fire after d, replacing any earlier schedule.
+	arm(d time.Duration)
+	// disarm cancels the schedule; ch goes nil so a select never fires.
+	disarm()
+	// fired acknowledges a receive from ch before the next arm.
+	fired()
+	// ch is the fire channel; nil while disarmed.
+	ch() <-chan time.Time
+}
+
 // flushTimer wraps one reusable time.Timer for the batcher's flush
 // deadline. The previous implementation allocated a fresh time.NewTimer
 // on every submitted request — per-request timer churn on the hot
@@ -44,6 +59,9 @@ func (ft *flushTimer) disarm() {
 // the next arm must not try to drain it again via a blocked Stop.
 func (ft *flushTimer) fired() { ft.C = nil }
 
+// ch implements batcherTimer.
+func (ft *flushTimer) ch() <-chan time.Time { return ft.C }
+
 // stopDrain is the correct stop/drain sequence for a timer that may have
 // fired but not been received from.
 func (ft *flushTimer) stopDrain() {
@@ -55,116 +73,198 @@ func (ft *flushTimer) stopDrain() {
 	}
 }
 
-// batcher is the coalescing loop: it accumulates requests until the batch
-// is full or the oldest request's slack (deadline − Eq 12 prediction) runs
-// out, then hands the batch to the worker pool. Backpressure is natural:
-// when every worker is busy the flush send blocks, the admission queue
-// fills, and Submit starts rejecting.
+// batcher is the coalescing loop: it drains admitted requests into the
+// per-archetype priority queues, forms cross-stream batches of up to
+// MaxBatch in effective-priority order, and hands them to the worker pool
+// when the batch fills or the tightest pending head's slack (deadline −
+// Eq 12 prediction) runs out. Backpressure is natural: when every worker
+// is busy the flush send blocks, the admission queue fills, and Submit
+// starts rejecting.
+//
+// A timer fire is a *hint*, not a command: the delay it was armed with
+// described an older pending set, and requests admitted since (or a level
+// change) may have moved the due instant. The loop therefore re-derives
+// flushDelay on fire and re-arms instead of flushing when the batch is
+// not actually due — the fix for the stale-fire edge where a fire racing
+// a submit flushed a batch whose window had not closed.
 func (s *Server) batcher() {
 	defer close(s.batcherDone)
 	defer close(s.flushCh)
 
-	var pending []*request
-	var ft flushTimer
+	q := &prioQueues{agingMS: s.cfg.AgingMS}
+	ft := s.newBatcherTimer()
 
 	for {
 		select {
 		case r, ok := <-s.submitCh:
 			if !ok {
 				ft.disarm()
-				s.flushChunked(pending)
+				s.flushAll(q)
 				return
 			}
-			pending = append(pending, r)
+			q.push(r)
+			// Absorb any burst already admitted before deciding, so batch
+			// formation sees the full cross-stream picture rather than one
+			// arrival per loop turn.
+			s.drainSubmitted(q)
 			if s.cfg.ManualFlush {
-				continue // only Flush (or close-drain) flushes
+				continue // only Flush/FlushOne (or close-drain) flushes
 			}
-			if len(pending) >= s.cfg.MaxBatch {
+			for q.len() >= s.cfg.MaxBatch {
 				ft.disarm()
-				s.flush(pending)
-				pending = nil
-				continue
+				s.flushNext(q)
 			}
-			ft.arm(s.flushDelay(pending))
+			s.rearm(ft, q)
 		case done := <-s.flushReqCh:
 			// Drain everything already admitted (sitting in the buffered
-			// submit channel) into the pending batch first, so a Flush
-			// issued after N completed Submits flushes exactly those N.
-			pending, _ = s.drainSubmitted(pending)
+			// submit channel) first, so a Flush issued after N completed
+			// Submits flushes exactly those N.
+			s.drainSubmitted(q)
 			ft.disarm()
-			n := len(pending)
-			s.flushChunked(pending)
-			pending = nil
+			n := q.len()
+			s.flushAll(q)
 			done <- n
-		case <-ft.C:
-			ft.fired()
-			if len(pending) > 0 {
-				s.flush(pending)
-				pending = nil
+		case done := <-s.flushOneReqCh:
+			s.drainSubmitted(q)
+			n := 0
+			if q.len() > 0 {
+				n = s.flushNext(q)
 			}
+			if !s.cfg.ManualFlush {
+				s.rearm(ft, q)
+			}
+			done <- n
+		case done := <-s.delayReqCh:
+			s.drainSubmitted(q)
+			if q.len() == 0 {
+				done <- math.Inf(1)
+			} else {
+				done <- s.flushDelayMS(q)
+			}
+		case <-ft.ch():
+			ft.fired()
+			if q.len() == 0 {
+				continue
+			}
+			if d := s.flushDelay(q); d > 0 {
+				ft.arm(d) // stale fire: the due instant moved; not yet due
+				continue
+			}
+			s.flushNext(q)
+			s.rearm(ft, q)
 		}
 	}
+}
+
+// newBatcherTimer returns the injected test timer when one is set, else
+// the reusable production timer.
+func (s *Server) newBatcherTimer() batcherTimer {
+	if s.timerHook != nil {
+		return s.timerHook()
+	}
+	return &flushTimer{}
+}
+
+// rearm schedules the next autonomous flush for whatever remains pending,
+// or disarms when the queues are empty.
+func (s *Server) rearm(ft batcherTimer, q *prioQueues) {
+	if q.len() == 0 {
+		ft.disarm()
+		return
+	}
+	ft.arm(s.flushDelay(q))
 }
 
 // drainSubmitted moves every request buffered in the admission queue into
-// pending without blocking. The second return reports whether the submit
-// channel was seen closed.
-func (s *Server) drainSubmitted(pending []*request) ([]*request, bool) {
+// the priority bands without blocking.
+func (s *Server) drainSubmitted(q *prioQueues) {
 	for {
 		select {
 		case r, ok := <-s.submitCh:
 			if !ok {
-				return pending, true
+				return // closed: the main loop's next receive handles exit
 			}
-			pending = append(pending, r)
+			q.push(r)
 		default:
-			return pending, false
+			return
 		}
 	}
 }
 
-// flushChunked flushes pending in admission order, MaxBatch at a time, so
-// an over-full manual batch (or a close-drain backlog) still respects the
-// compiled batch cap.
-func (s *Server) flushChunked(pending []*request) {
-	for len(pending) > 0 {
-		n := len(pending)
-		if n > s.cfg.MaxBatch {
-			n = s.cfg.MaxBatch
-		}
-		s.flush(pending[:n])
-		pending = pending[n:]
+// flushNext forms and flushes one batch: the top MaxBatch pending
+// requests in effective-priority order. It returns the batch size.
+func (s *Server) flushNext(q *prioQueues) int {
+	batch, promoted := q.take(s.cfg.MaxBatch, s.cfg.Clock())
+	if promoted > 0 {
+		s.st.promotedAdd(uint64(promoted))
+	}
+	s.flush(batch)
+	return len(batch)
+}
+
+// flushAll drains the priority bands completely, one policy-formed batch
+// at a time, so an over-full manual backlog (or a close-drain) still
+// respects the batch cap and the priority order.
+func (s *Server) flushAll(q *prioQueues) {
+	for q.len() > 0 {
+		s.flushNext(q)
 	}
 }
 
 // flushDelay returns how much longer the batcher may hold the pending
-// batch: the oldest request's remaining slack at the current level,
-// additionally capped by the linger window so tasks with lazy deadlines
-// (or none at all) still flush promptly.
-func (s *Server) flushDelay(pending []*request) time.Duration {
-	waited := s.sinceMS(pending[0].at)
-	linger := s.cfg.LingerMS - waited
-	slack := s.task.SlackMS(waited, s.queuePredictMS(s.ctrl.Level(), len(pending)))
-	d := math.Min(slack, linger)
+// batch as a timer duration (≤ 0 means due now).
+func (s *Server) flushDelay(q *prioQueues) time.Duration {
+	d := s.flushDelayMS(q)
 	if d <= 0 {
 		return 0
 	}
 	return time.Duration(d * float64(time.Millisecond))
 }
 
+// slackGuardFrac is the batching policy's safety margin as a fraction of
+// the predicted completion time. The Eq 12 estimate trails the simulated
+// execution by a few percent; flushing exactly at slack zero therefore
+// converts that gap into a deadline miss on every boundary flush. Holding
+// the batch only while slack exceeds the guard lands responses just
+// inside the deadline instead of just outside it.
+const slackGuardFrac = 0.1
+
+// flushDelayMS is the batching policy: the tightest remaining slack among
+// the band heads — each priced with its own task's deadline against the
+// Eq 12 prediction for the batch about to form, less the safety guard —
+// additionally capped by the linger window from the oldest arrival, so
+// tasks with lazy deadlines (or none at all) still flush promptly.
+func (s *Server) flushDelayMS(q *prioQueues) float64 {
+	oldest := q.oldest()
+	linger := s.cfg.LingerMS - s.sinceMS(oldest.at)
+	n := q.len()
+	if n > s.cfg.MaxBatch {
+		n = s.cfg.MaxBatch
+	}
+	pred := s.queuePredictMS(s.ctrl.Level(), n)
+	guard := slackGuardFrac * pred
+	d := linger
+	q.heads(func(r *request) {
+		if slack := r.task.SlackMS(s.sinceMS(r.at), pred) - guard; slack < d {
+			d = slack
+		}
+	})
+	return d
+}
+
 // queuePredictMS estimates how long a flush of n requests will take to
-// finish at a level: the batches already in flight ahead of it (spread
-// over the worker pool) plus its own predicted execution time.
+// finish at a level: any externally-declared worker occupancy, plus the
+// batches already in flight ahead of it (spread over the worker pool),
+// plus its own predicted execution time.
 func (s *Server) queuePredictMS(level, n int) float64 {
-	ahead := float64(s.inflight.Load()) * s.ex.PredictMS(level, s.cfg.MaxBatch) / float64(s.cfg.Workers)
+	ahead := s.busyMS() + float64(s.inflight.Load())*s.ex.PredictMS(level, s.cfg.MaxBatch)/float64(s.cfg.Workers)
 	return ahead + s.ex.PredictMS(level, n)
 }
 
 // flush hands one batch to the worker pool, escalating the degradation
-// level first if the oldest request's slack has gone negative (graceful
+// level first if the tightest request's slack has gone negative (graceful
 // degradation instead of dropping).
 func (s *Server) flush(reqs []*request) {
-	oldest := reqs[0]
 	n := len(reqs)
 	for _, r := range reqs {
 		r.tr.Mark("coalesce")
@@ -172,7 +272,14 @@ func (s *Server) flush(reqs []*request) {
 	level := s.ctrl.Level()
 	if !s.cfg.DisableDegrade {
 		level = s.ctrl.escalate(func(l int) bool {
-			return s.task.SlackMS(s.sinceMS(oldest.at), s.queuePredictMS(l, n)) >= 0
+			pred := s.queuePredictMS(l, n)
+			guard := slackGuardFrac * pred
+			for _, r := range reqs {
+				if r.task.SlackMS(s.sinceMS(r.at), pred) < guard {
+					return false
+				}
+			}
+			return true
 		})
 	}
 	for _, r := range reqs {
@@ -242,7 +349,6 @@ func (s *Server) runBatch(job *batchJob) {
 		time.Sleep(time.Duration(res.TimeMS * s.cfg.Pace * float64(time.Millisecond)))
 	}
 	s.inflight.Add(-1)
-	s.met.observeBatch(job.level, n)
 	if err != nil {
 		s.st.failBatch(n)
 		for _, r := range job.reqs {
@@ -251,17 +357,26 @@ func (s *Server) runBatch(job *batchJob) {
 		}
 		return
 	}
+	// The batch-size histogram moves with the executed-batch tally (both
+	// count successful flushes only), so MeanBatch and the histogram agree
+	// on the same population.
+	s.met.observeBatch(job.level, n)
 
 	perImageJ := res.EnergyJ / float64(n)
-	oldestResponseMS := 0.0
+	comfortable := true
+	sawDeadline := false
 	for i, r := range job.reqs {
 		queueMS := float64(start.Sub(r.at)) / float64(time.Millisecond)
 		if queueMS < 0 {
 			queueMS = 0
 		}
 		responseMS := queueMS + res.TimeMS
-		if responseMS > oldestResponseMS {
-			oldestResponseMS = responseMS
+		deadline := r.task.Deadline()
+		if !math.IsInf(deadline, 1) {
+			sawDeadline = true
+			if responseMS > 0.5*deadline {
+				comfortable = false
+			}
 		}
 		out := Result{
 			ID:              r.id,
@@ -272,8 +387,8 @@ func (s *Server) runBatch(job *batchJob) {
 			ResponseMS:      responseMS,
 			EnergyPerImageJ: perImageJ,
 			Entropy:         res.Entropy,
-			SoC:             s.task.SoC(responseMS, res.Entropy, perImageJ),
-			DeadlineMet:     responseMS <= s.task.Deadline(),
+			SoC:             r.task.SoC(responseMS, res.Entropy, perImageJ),
+			DeadlineMet:     responseMS <= deadline,
 		}
 		if res.Probs != nil && i < len(res.Probs) {
 			out.Probs = res.Probs[i]
@@ -285,9 +400,10 @@ func (s *Server) runBatch(job *batchJob) {
 		s.finishTrace(r, n, job.level, demoted, nil)
 	}
 
-	deadline := s.task.Deadline()
-	comfortable := !math.IsInf(deadline, 1) && oldestResponseMS <= 0.5*deadline
-	s.ctrl.observe(res.Entropy > s.task.EntropyThreshold, comfortable)
+	// Comfortable means every deadline-bearing request in the batch
+	// finished inside half its own deadline; deadline-free batches never
+	// ease an escalated level back down.
+	s.ctrl.observe(res.Entropy > s.task.EntropyThreshold, sawDeadline && comfortable)
 	s.st.batchDone(n)
 }
 

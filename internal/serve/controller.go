@@ -61,6 +61,16 @@ func (c *controller) Base() int {
 	return c.base
 }
 
+// reachable returns the deepest level escalation can currently use: the
+// path's end normally, or the calibration-imposed ceiling while a
+// backtrack cooldown holds. Admission prices its early-rejection check
+// here — a level entropy calibration has fenced off cannot save anyone.
+func (c *controller) reachable() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ceiling
+}
+
 // escalate raises the level until fits(level) reports the flush would meet
 // its deadline, or the (possibly calibration-lowered) ceiling stops it. It
 // returns the level the flush executes at. The path is ordered by the

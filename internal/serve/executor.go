@@ -101,11 +101,25 @@ func SyntheticPath(net *nn.NetShape, task satisfaction.Task, levels int) []sched
 // levelBatch keys the per-(level, batch) simulation cache.
 type levelBatch struct{ level, batch int }
 
+// planLimitProbe bounds the memory-ceiling search; far above any batch
+// the roadmap's platforms compile.
+const planLimitProbe = 256
+
 // PlanExecutor implements Executor on top of a compiled plan, a
 // degradation path, and (optionally) the trained scaled analogue whose
-// measured entropy drives calibration. Simulated aggregates and re-batched
-// plans are cached per (level, batch), so steady-state serving costs one
-// map lookup per flush.
+// measured entropy drives calibration.
+//
+// Exact plans are compiled lazily at power-of-two *anchor* batches (plus
+// the deployment's own compiled batch); any other batch size executes by
+// interpolation: the geometrically nearest anchor plan supplies the tuned
+// per-layer design, and the Eq 12 evaluator re-derives its cost at the
+// requested batch. The previous implementation compiled a fresh plan per
+// distinct batch and — when device memory could not fit it — silently
+// shrank the plan while still executing the full batch, mispricing every
+// partial flush (the demotion-to-singleton path behind the mean_batch
+// collapse). Simulated aggregates, profiles and predictions are cached
+// per (level, batch), so steady-state serving costs one map lookup per
+// flush.
 type PlanExecutor struct {
 	plan   *compile.Plan
 	path   []sched.TuningPoint
@@ -116,6 +130,8 @@ type PlanExecutor struct {
 	plans    map[int]*compile.Plan
 	aggs     map[levelBatch]gpu.Aggregate
 	profiles map[levelBatch][]compile.LayerProfile
+	preds    map[levelBatch]float64
+	limit    int // memory batch ceiling; 0 = not yet probed
 
 	// netMu serializes perforation state on the shared scaled network.
 	netMu sync.Mutex
@@ -144,6 +160,7 @@ func NewPlanExecutor(plan *compile.Plan, path []sched.TuningPoint, scaled *nn.Se
 		plans:    map[int]*compile.Plan{plan.Batch: plan},
 		aggs:     map[levelBatch]gpu.Aggregate{},
 		profiles: map[levelBatch][]compile.LayerProfile{},
+		preds:    map[levelBatch]float64{},
 	}, nil
 }
 
@@ -168,9 +185,62 @@ func (e *PlanExecutor) clamp(level int) int {
 	return level
 }
 
-// planFor returns (caching) the plan re-batched to the given size, so
-// partial flushes are costed for the batch they actually carry.
-func (e *PlanExecutor) planFor(batch int) (*compile.Plan, error) {
+// BatchLimit implements BatchLimiter: the largest batch the plan's device
+// memory can hold, probed once and cached. CompileAtBatch decrements from
+// the probe ceiling until the analytic memory model fits, so one
+// compilation answers the global ceiling.
+func (e *PlanExecutor) BatchLimit() int {
+	e.mu.Lock()
+	limit := e.limit
+	e.mu.Unlock()
+	if limit > 0 {
+		return limit
+	}
+	p, err := compile.CompileAtBatch(e.plan.Net, e.plan.Dev, e.plan.Task, planLimitProbe)
+	if err != nil {
+		limit = e.plan.Batch // pessimistic: at least the deployed plan fits
+	} else {
+		limit = p.Batch
+	}
+	e.mu.Lock()
+	e.limit = limit
+	if err == nil {
+		if _, ok := e.plans[p.Batch]; !ok {
+			e.plans[p.Batch] = p
+		}
+	}
+	e.mu.Unlock()
+	return limit
+}
+
+// anchorFor maps a batch onto its power-of-two anchor: the geometrically
+// nearest power of two, which bounds the Eq 12 extrapolation ratio by √2.
+func anchorFor(batch int) int {
+	if batch <= 1 {
+		return 1
+	}
+	lo := 1
+	for lo*2 <= batch {
+		lo *= 2
+	}
+	if lo == batch {
+		return batch
+	}
+	hi := lo * 2
+	// Geometric midpoint: batch² against lo·hi.
+	if batch*batch <= lo*hi {
+		return lo
+	}
+	return hi
+}
+
+// planNear returns (caching) the nearest exactly-compiled plan for a
+// batch: the batch's own plan on a cache hit, otherwise its power-of-two
+// anchor, compiled once and shared by every nearby batch size. When
+// device memory cannot hold the anchor, the compiler's largest fitting
+// batch becomes the anchor and the memory ceiling is recorded — callers
+// interpolate from it instead of silently executing a shrunken plan.
+func (e *PlanExecutor) planNear(batch int) (*compile.Plan, error) {
 	if batch < 1 {
 		batch = 1
 	}
@@ -180,28 +250,34 @@ func (e *PlanExecutor) planFor(batch int) (*compile.Plan, error) {
 	if ok {
 		return p, nil
 	}
-	p, err := compile.CompileAtBatch(e.plan.Net, e.plan.Dev, e.plan.Task, batch)
+	anchor := anchorFor(batch)
+	e.mu.Lock()
+	p, ok = e.plans[anchor]
+	e.mu.Unlock()
+	if ok {
+		return p, nil
+	}
+	p, err := compile.CompileAtBatch(e.plan.Net, e.plan.Dev, e.plan.Task, anchor)
 	if err != nil {
 		return nil, err
 	}
 	e.mu.Lock()
-	e.plans[batch] = p
+	if p.Batch < anchor && (e.limit == 0 || p.Batch < e.limit) {
+		e.limit = p.Batch // memory shrank the anchor: that is the ceiling
+	}
+	if prev, ok := e.plans[p.Batch]; ok {
+		p = prev // lost a race or anchor shrank onto a cached batch
+	} else {
+		e.plans[p.Batch] = p
+	}
 	e.mu.Unlock()
 	return p, nil
 }
 
-// PredictMS implements Executor: the analytic per-layer time model with
-// conv layers scaled by the level's keep fraction (perforation shrinks the
-// GEMM N dimension proportionally).
-func (e *PlanExecutor) PredictMS(level, batch int) float64 {
-	keeps := e.path[e.clamp(level)].Keeps
-	p, err := e.planFor(batch)
-	if err != nil {
-		// Rescale the compiled plan's fixed design point to this batch
-		// (Eq 12 with re-derived grids) instead of mispricing it with the
-		// compiled batch's estimate; Execute will surface the error.
-		return compile.PredictMS(e.plan, batch, keeps)
-	}
+// predictExact sums a plan's tuned per-layer predictions at its own
+// compiled batch, with conv layers scaled by the level's keep fraction
+// (perforation shrinks the GEMM N dimension proportionally).
+func predictExact(p *compile.Plan, keeps map[string]float64) float64 {
 	var ms float64
 	for _, l := range p.Layers {
 		frac := 1.0
@@ -215,10 +291,48 @@ func (e *PlanExecutor) PredictMS(level, batch int) float64 {
 	return ms
 }
 
+// PredictMS implements Executor: the tuned per-layer sum when a plan
+// compiled at exactly this batch is cached, otherwise the Eq 12 evaluator
+// re-deriving the nearest anchor plan's design at the requested batch —
+// every batch size is priced without an exact (level, batch) cache hit.
+func (e *PlanExecutor) PredictMS(level, batch int) float64 {
+	if batch < 1 {
+		batch = 1
+	}
+	level = e.clamp(level)
+	key := levelBatch{level, batch}
+	e.mu.Lock()
+	ms, ok := e.preds[key]
+	e.mu.Unlock()
+	if ok {
+		return ms
+	}
+	keeps := e.path[level].Keeps
+	p, err := e.planNear(batch)
+	if err != nil {
+		// No compilable neighbour: rescale the deployed plan's design
+		// point; Execute will surface the error.
+		return compile.PredictMS(e.plan, batch, keeps)
+	}
+	if p.Batch == batch {
+		ms = predictExact(p, keeps)
+	} else {
+		ms = compile.PredictMS(p, batch, keeps)
+	}
+	e.mu.Lock()
+	e.preds[key] = ms
+	e.mu.Unlock()
+	return ms
+}
+
 // aggFor simulates (caching) one batch at a level on the plan's device.
-// Alongside the aggregate it keeps the per-layer profile the same
-// simulation produced, so Profile answers from cache for any operating
-// point the server has actually run.
+// Batches with an exactly-compiled plan simulate for real; any other
+// batch interpolates from its anchor: the anchor's simulated aggregate
+// and profile scaled by the Eq 12 cost ratio between the two batches, so
+// a 3-wide flush is priced between the 2- and 4-wide simulations rather
+// than executing a silently shrunken plan. Alongside the aggregate it
+// keeps the per-layer profile, so Profile answers from cache for any
+// operating point the server has actually run.
 func (e *PlanExecutor) aggFor(level, batch int) (gpu.Aggregate, error) {
 	key := levelBatch{level, batch}
 	e.mu.Lock()
@@ -227,11 +341,41 @@ func (e *PlanExecutor) aggFor(level, batch int) (gpu.Aggregate, error) {
 	if ok {
 		return agg, nil
 	}
-	p, err := e.planFor(batch)
+	p, err := e.planNear(batch)
 	if err != nil {
 		return gpu.Aggregate{}, err
 	}
 	keeps := e.path[level].Keeps
+	if p.Batch != batch {
+		// Interpolate: simulate the anchor exactly (recursion bottoms out —
+		// plans[p.Batch] is cached), then scale by the analytic cost ratio.
+		anchorAgg, err := e.aggFor(level, p.Batch)
+		if err != nil {
+			return gpu.Aggregate{}, err
+		}
+		anchorMS := e.PredictMS(level, p.Batch)
+		ratio := 1.0
+		if anchorMS > 0 {
+			ratio = e.PredictMS(level, batch) / anchorMS
+		}
+		agg = gpu.Aggregate{
+			TimeMS:    anchorAgg.TimeMS * ratio,
+			EnergyJ:   anchorAgg.EnergyJ * ratio,
+			AvgPowerW: anchorAgg.AvgPowerW,
+		}
+		e.mu.Lock()
+		prof := make([]compile.LayerProfile, len(e.profiles[levelBatch{level, p.Batch}]))
+		copy(prof, e.profiles[levelBatch{level, p.Batch}])
+		for i := range prof {
+			prof[i].PredictedMS *= ratio
+			prof[i].TimeMS *= ratio
+			prof[i].EnergyJ *= ratio
+		}
+		e.aggs[key] = agg
+		e.profiles[key] = prof
+		e.mu.Unlock()
+		return agg, nil
+	}
 	var results []gpu.Result
 	if len(keeps) == 0 {
 		results, agg, err = p.Simulate(true)

@@ -247,6 +247,113 @@ func TestPlanExecutorProfile(t *testing.T) {
 	}
 }
 
+// TestAnchorFor pins the geometric-nearest power-of-two anchor choice the
+// interpolation path rides on.
+func TestAnchorFor(t *testing.T) {
+	cases := []struct{ batch, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, // 9 > 2·4
+		{4, 4}, {5, 4}, // 25 ≤ 4·8
+		{6, 8},   // 36 > 32
+		{48, 64}, // 2304 > 32·64
+		{64, 64},
+	}
+	for _, c := range cases {
+		if got := anchorFor(c.batch); got != c.want {
+			t.Errorf("anchorFor(%d) = %d, want %d", c.batch, got, c.want)
+		}
+	}
+}
+
+// TestPlanExecutorInterpolation: non-power-of-two batches get real
+// interpolated operating points, not a silent demotion to singleton —
+// prediction and execution are strictly monotone in batch and a batch-3
+// point lands strictly between its batch-2 and batch-4 neighbours, with
+// the profile reconciliation invariant intact off-anchor.
+func TestPlanExecutorInterpolation(t *testing.T) {
+	task := satisfaction.VideoSurveillance(60)
+	plan := compilePlan(t, "AlexNet", "TX1", task)
+	ex, err := NewPlanExecutor(plan, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Monotone in batch wherever the same anchor plan prices both sides.
+	// Across an anchor boundary (5→6 jumps from the batch-4 plan to the
+	// batch-8 plan) absolute ordering is the plans' business, not ours.
+	for _, pair := range [][2]int{{1, 2}, {2, 3}, {3, 4}, {4, 5}, {6, 7}, {7, 8}} {
+		lo, hi := ex.PredictMS(0, pair[0]), ex.PredictMS(0, pair[1])
+		if !(lo > 0 && hi > lo) {
+			t.Fatalf("PredictMS(0,%d) = %v not above PredictMS(0,%d) = %v", pair[1], hi, pair[0], lo)
+		}
+	}
+
+	p2, p3, p4 := ex.PredictMS(0, 2), ex.PredictMS(0, 3), ex.PredictMS(0, 4)
+	if !(p2 < p3 && p3 < p4) {
+		t.Errorf("batch-3 prediction %v not strictly between batch 2 (%v) and batch 4 (%v)", p3, p2, p4)
+	}
+
+	r2, err := ex.Execute(0, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := ex.Execute(0, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := ex.Execute(0, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r2.TimeMS < r3.TimeMS && r3.TimeMS < r4.TimeMS) {
+		t.Errorf("batch-3 execution %vms not strictly between batch 2 (%vms) and batch 4 (%vms)",
+			r3.TimeMS, r2.TimeMS, r4.TimeMS)
+	}
+	if !(r2.EnergyJ < r3.EnergyJ && r3.EnergyJ < r4.EnergyJ) {
+		t.Errorf("batch-3 energy %vJ not strictly between batch 2 (%vJ) and batch 4 (%vJ)",
+			r3.EnergyJ, r2.EnergyJ, r4.EnergyJ)
+	}
+
+	// The profile invariant — predicted column sums to PredictMS — must
+	// hold at the interpolated point too.
+	prof, err := ex.Profile(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var predSum float64
+	for _, lp := range prof {
+		predSum += lp.PredictedMS
+	}
+	if diff := predSum - p3; diff > 1e-9*p3 || diff < -1e-9*p3 {
+		t.Errorf("batch-3 profile predicted sum %v != PredictMS %v", predSum, p3)
+	}
+}
+
+// TestPlanExecutorBatchLimit: the probed memory ceiling is at least the
+// compiled batch and stable across calls.
+func TestPlanExecutorBatchLimit(t *testing.T) {
+	task := satisfaction.VideoSurveillance(60)
+	plan := compilePlan(t, "AlexNet", "TX1", task)
+	ex, err := NewPlanExecutor(plan, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lim := ex.BatchLimit()
+	if lim < plan.Batch {
+		t.Fatalf("BatchLimit %d below the compiled batch %d", lim, plan.Batch)
+	}
+	if again := ex.BatchLimit(); again != lim {
+		t.Errorf("BatchLimit not stable: %d then %d", lim, again)
+	}
+	// Executing at the ceiling must work without demotion.
+	r, err := ex.Execute(0, lim, nil)
+	if err != nil {
+		t.Fatalf("Execute at BatchLimit %d: %v", lim, err)
+	}
+	if r.TimeMS <= 0 {
+		t.Fatalf("degenerate result at BatchLimit: %+v", r)
+	}
+}
+
 func layerNames(layers []nn.Perforable) []string {
 	out := make([]string, len(layers))
 	for i, l := range layers {

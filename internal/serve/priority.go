@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"math"
+	"time"
+
+	"pcnn/internal/satisfaction"
+)
+
+// numClasses is the archetype priority band count: interactive (0) over
+// real-time surveillance (1) over background (2), the paper's taxonomy
+// ordered by deadline urgency.
+const numClasses = 3
+
+// classPriority maps a task archetype onto its admission priority band.
+func classPriority(class satisfaction.TaskClass) int {
+	switch class {
+	case satisfaction.Interactive:
+		return 0
+	case satisfaction.RealTime:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// prioQueues replaces the batcher's single FIFO with one FIFO per
+// archetype band. Batch formation repeatedly picks the head with the
+// lowest *effective* priority — the band index minus one step per AgingMS
+// of waiting, floored at the top band — so interactive requests jump the
+// line while a saturated queue can never starve background work forever.
+// Within a band (and across bands at equal effective priority) the earlier
+// arrival wins, so single-archetype servers keep exact admission order.
+type prioQueues struct {
+	qs      [numClasses][]*request
+	total   int
+	agingMS float64
+}
+
+// push appends a request to its archetype band.
+func (p *prioQueues) push(r *request) {
+	p.qs[r.prio] = append(p.qs[r.prio], r)
+	p.total++
+}
+
+// len is the total pending count across bands.
+func (p *prioQueues) len() int { return p.total }
+
+// oldest returns the earliest-arrived pending request, or nil when empty.
+func (p *prioQueues) oldest() *request {
+	var old *request
+	for c := 0; c < numClasses; c++ {
+		if len(p.qs[c]) == 0 {
+			continue
+		}
+		if h := p.qs[c][0]; old == nil || h.at.Before(old.at) {
+			old = h
+		}
+	}
+	return old
+}
+
+// heads calls fn with each band's head request (at most one per band).
+func (p *prioQueues) heads(fn func(r *request)) {
+	for c := 0; c < numClasses; c++ {
+		if len(p.qs[c]) > 0 {
+			fn(p.qs[c][0])
+		}
+	}
+}
+
+// effPriority is a request's aged priority at time now: one band of credit
+// per agingMS waited, floored at the most urgent band.
+func (p *prioQueues) effPriority(r *request, now time.Time) int {
+	if p.agingMS <= 0 {
+		return r.prio
+	}
+	waited := float64(now.Sub(r.at)) / float64(time.Millisecond)
+	if waited <= 0 {
+		return r.prio
+	}
+	eff := r.prio - int(waited/p.agingMS)
+	if eff < 0 {
+		eff = 0
+	}
+	return eff
+}
+
+// take removes and returns up to n requests in effective-priority order
+// (ties broken by arrival time, then submission id, so formation is a
+// total deterministic order). promoted counts picks that went ahead of a
+// natively more urgent band's waiting head — i.e. wins earned by aging.
+func (p *prioQueues) take(n int, now time.Time) (batch []*request, promoted int) {
+	if n > p.total {
+		n = p.total
+	}
+	if n <= 0 {
+		return nil, 0
+	}
+	batch = make([]*request, 0, n)
+	for len(batch) < n {
+		best := -1
+		bestEff := math.MaxInt32
+		for c := 0; c < numClasses; c++ {
+			if len(p.qs[c]) == 0 {
+				continue
+			}
+			h := p.qs[c][0]
+			eff := p.effPriority(h, now)
+			if best < 0 {
+				best, bestEff = c, eff
+				continue
+			}
+			cur := p.qs[best][0]
+			if eff < bestEff ||
+				(eff == bestEff && (h.at.Before(cur.at) || (h.at.Equal(cur.at) && h.id < cur.id))) {
+				best, bestEff = c, eff
+			}
+		}
+		h := p.qs[best][0]
+		for c := 0; c < best; c++ {
+			if len(p.qs[c]) > 0 {
+				promoted++
+				break
+			}
+		}
+		p.qs[best] = p.qs[best][1:]
+		p.total--
+		batch = append(batch, h)
+	}
+	return batch, promoted
+}

@@ -1,0 +1,399 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"pcnn/internal/satisfaction"
+	"pcnn/internal/tensor"
+)
+
+// taskPtr returns a pointer for SubmitOptions.Task.
+func taskPtr(t satisfaction.Task) *satisfaction.Task { return &t }
+
+// TestPrioQueuesTakeOrder: cross-band formation picks interactive before
+// real-time before background, admission order within a band, and counts
+// no promotions when aging is disabled.
+func TestPrioQueuesTakeOrder(t *testing.T) {
+	base := epoch()
+	q := &prioQueues{agingMS: -1}
+	mk := func(id uint64, prio int, atMS float64) *request {
+		return &request{id: id, prio: prio, at: base.Add(time.Duration(atMS * float64(time.Millisecond)))}
+	}
+	// Arrival order: two background, one surveillance, two interactive.
+	q.push(mk(1, 2, 0))
+	q.push(mk(2, 2, 1))
+	q.push(mk(3, 1, 2))
+	q.push(mk(4, 0, 3))
+	q.push(mk(5, 0, 4))
+
+	batch, promoted := q.take(3, base.Add(10*time.Millisecond))
+	if promoted != 0 {
+		t.Errorf("promoted = %d with aging disabled, want 0", promoted)
+	}
+	want := []uint64{4, 5, 3} // interactive pair first, then the surveillance head
+	for i, r := range batch {
+		if r.id != want[i] {
+			t.Fatalf("take[%d] = request %d, want %d", i, r.id, want[i])
+		}
+	}
+	if q.len() != 2 {
+		t.Fatalf("queue left %d pending, want 2", q.len())
+	}
+	rest, _ := q.take(8, base.Add(10*time.Millisecond))
+	if len(rest) != 2 || rest[0].id != 1 || rest[1].id != 2 {
+		t.Fatalf("remaining batch = %v, want background 1 then 2", ids(rest))
+	}
+}
+
+// TestPrioQueuesAging: a background request that has waited past its
+// aging credit ties the fresh interactive arrival at effective priority 0
+// and wins on arrival time — counted as a promotion.
+func TestPrioQueuesAging(t *testing.T) {
+	base := epoch()
+	q := &prioQueues{agingMS: 5}
+	bg := &request{id: 1, prio: 2, at: base}
+	fg := &request{id: 2, prio: 0, at: base.Add(50 * time.Millisecond)}
+	q.push(bg)
+	q.push(fg)
+
+	// At t=50 the background head has waited 50 ms = 10 aging quanta:
+	// effective priority max(2-10, 0) = 0, tie with the interactive head,
+	// earlier arrival wins.
+	batch, promoted := q.take(1, base.Add(50*time.Millisecond))
+	if len(batch) != 1 || batch[0].id != 1 {
+		t.Fatalf("take = %v, want the aged background request", ids(batch))
+	}
+	if promoted != 1 {
+		t.Errorf("promoted = %d, want 1", promoted)
+	}
+
+	// A fresh background arrival gets no credit: interactive goes first.
+	q2 := &prioQueues{agingMS: 5}
+	q2.push(&request{id: 3, prio: 2, at: base})
+	q2.push(&request{id: 4, prio: 0, at: base.Add(time.Millisecond)})
+	batch, promoted = q2.take(1, base.Add(2*time.Millisecond))
+	if len(batch) != 1 || batch[0].id != 4 {
+		t.Fatalf("take = %v, want the interactive request", ids(batch))
+	}
+	if promoted != 0 {
+		t.Errorf("promoted = %d, want 0", promoted)
+	}
+}
+
+func ids(reqs []*request) []uint64 {
+	out := make([]uint64, len(reqs))
+	for i, r := range reqs {
+		out[i] = r.id
+	}
+	return out
+}
+
+// TestPriorityBatchFormation drives the full server on a virtual clock:
+// a mixed backlog flushes as one cross-archetype batch of the most urgent
+// bands first, background only afterwards — pinned by each request's
+// exact virtual queueing time.
+func TestPriorityBatchFormation(t *testing.T) {
+	clk := &vclock{}
+	clk.set(0)
+	s, err := NewServer(manualExec{}, satisfaction.ImageTagging(), Config{
+		Workers: 1, MaxBatch: 4, QueueCap: 16,
+		ManualFlush: true, Clock: clk.now, AgingMS: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeServer(t, s)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	age := satisfaction.AgeDetection()
+	surv := satisfaction.VideoSurveillance(30)
+	var bg, urgent []*Future
+	submit := func(task *satisfaction.Task) *Future {
+		f, err := s.SubmitWith(SubmitOptions{Task: task})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	for i := 0; i < 4; i++ {
+		bg = append(bg, submit(nil)) // deployed archetype: background tagging
+	}
+	urgent = append(urgent, submit(taskPtr(age)), submit(taskPtr(age)),
+		submit(taskPtr(surv)), submit(taskPtr(surv)))
+
+	clk.set(10)
+	if n := s.FlushOne(); n != 4 {
+		t.Fatalf("first FlushOne moved %d, want 4", n)
+	}
+	for i, f := range urgent {
+		res, err := f.Wait(ctx)
+		if err != nil {
+			t.Fatalf("urgent %d: %v", i, err)
+		}
+		if res.QueueMS != 10 {
+			t.Errorf("urgent %d queued %v ms, want 10 (first batch)", i, res.QueueMS)
+		}
+		if res.Batch != 4 {
+			t.Errorf("urgent %d batch %d, want 4", i, res.Batch)
+		}
+	}
+
+	clk.set(30)
+	if n := s.FlushOne(); n != 4 {
+		t.Fatalf("second FlushOne moved %d, want 4", n)
+	}
+	for i, f := range bg {
+		res, err := f.Wait(ctx)
+		if err != nil {
+			t.Fatalf("background %d: %v", i, err)
+		}
+		if res.QueueMS != 30 {
+			t.Errorf("background %d queued %v ms, want 30 (second batch)", i, res.QueueMS)
+		}
+	}
+	if snap := s.Stats(); snap.Promotions != 0 {
+		t.Errorf("promotions = %d with aging disabled, want 0", snap.Promotions)
+	}
+}
+
+// TestAgingPromotionServing: with a short aging quantum, a starved
+// background request overtakes a fresh interactive arrival and the
+// promotion surfaces in the snapshot.
+func TestAgingPromotionServing(t *testing.T) {
+	clk := &vclock{}
+	clk.set(0)
+	s, err := NewServer(manualExec{}, satisfaction.ImageTagging(), Config{
+		Workers: 1, MaxBatch: 1, QueueCap: 16,
+		ManualFlush: true, Clock: clk.now, AgingMS: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeServer(t, s)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	fBG, err := s.Submit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.set(50)
+	fIA, err := s.SubmitWith(SubmitOptions{Task: taskPtr(satisfaction.AgeDetection())})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if n := s.FlushOne(); n != 1 {
+		t.Fatalf("FlushOne moved %d, want 1", n)
+	}
+	res, err := fBG.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QueueMS != 50 {
+		t.Errorf("background queued %v ms, want 50 (flushed first)", res.QueueMS)
+	}
+	if n := s.FlushOne(); n != 1 {
+		t.Fatalf("second FlushOne moved %d, want 1", n)
+	}
+	if _, err := fIA.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if snap := s.Stats(); snap.Promotions != 1 {
+		t.Errorf("promotions = %d, want 1", snap.Promotions)
+	}
+}
+
+// limitedExec decorates fakeExec with an explicit memory batch ceiling.
+type limitedExec struct {
+	*fakeExec
+	limit int
+}
+
+func (l limitedExec) BatchLimit() int { return l.limit }
+
+// TestBatchCap: the deadline-aware cap extends a tight compiled batch up
+// to what the deadline can absorb, leaves deadline-free tasks at the
+// executor's own batch, and respects the memory ceiling.
+func TestBatchCap(t *testing.T) {
+	// 3 ms per image at every level; surveillance at 60 fps gives a
+	// 16.67 ms budget, so 5 images fit (15 ms) and 6 do not.
+	ex := &fakeExec{maxBatch: 2, msPerImage: []float64{3}, entropies: []float64{0.1}}
+	if got := BatchCap(ex, satisfaction.VideoSurveillance(60)); got != 5 {
+		t.Errorf("BatchCap(surveillance@60) = %d, want 5", got)
+	}
+	// Background has no deadline: the compiled batch stands.
+	if got := BatchCap(ex, satisfaction.ImageTagging()); got != 2 {
+		t.Errorf("BatchCap(background) = %d, want executor's 2", got)
+	}
+	// A memory ceiling between the compiled batch and the deadline fit
+	// wins over the deadline.
+	lim := limitedExec{fakeExec: ex, limit: 3}
+	if got := BatchCap(lim, satisfaction.VideoSurveillance(60)); got != 3 {
+		t.Errorf("BatchCap(limited) = %d, want 3", got)
+	}
+	// A cap below the executor's own batch never shrinks it.
+	slow := &fakeExec{maxBatch: 4, msPerImage: []float64{100}, entropies: []float64{0.1}}
+	if got := BatchCap(slow, satisfaction.VideoSurveillance(60)); got != 4 {
+		t.Errorf("BatchCap(slow) = %d, want the executor's 4", got)
+	}
+}
+
+// failingExec fails every batch.
+type failingExec struct{ fakeExec }
+
+func (f *failingExec) Execute(l, n int, _ *tensor.Tensor) (BatchResult, error) {
+	return BatchResult{}, errFailingExec
+}
+
+var errFailingExec = errTest("failing executor")
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }
+
+// TestMeanBatchAccounting pins the executed-batch population: MeanBatch
+// is the exact per-flush mean, the batch-size histogram counts the same
+// batches, and a failed batch lands in neither.
+func TestMeanBatchAccounting(t *testing.T) {
+	clk := &vclock{}
+	clk.set(0)
+	s, err := NewServer(manualExec{}, satisfaction.ImageTagging(), Config{
+		Workers: 1, MaxBatch: 4, QueueCap: 16,
+		ManualFlush: true, Clock: clk.now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeServer(t, s)
+
+	var futs []*Future
+	for i := 0; i < 7; i++ {
+		f, err := s.Submit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, f)
+	}
+	if n := s.FlushOne(); n != 4 {
+		t.Fatalf("first flush moved %d, want 4", n)
+	}
+	if n := s.FlushOne(); n != 3 {
+		t.Fatalf("second flush moved %d, want 3", n)
+	}
+	waitAll(t, futs)
+
+	snap := s.Stats()
+	if snap.Batches != 2 {
+		t.Fatalf("batches = %d, want 2", snap.Batches)
+	}
+	if want := 3.5; snap.MeanBatch != want {
+		t.Errorf("mean batch = %v, want exactly %v", snap.MeanBatch, want)
+	}
+	var count uint64
+	var sum float64
+	for _, h := range s.met.batchSize {
+		count += h.Count()
+		sum += h.Sum()
+	}
+	if count != snap.Batches {
+		t.Errorf("batch-size histogram count %d != batches %d", count, snap.Batches)
+	}
+	if sum != 7 {
+		t.Errorf("batch-size histogram sum %v != 7 coalesced requests", sum)
+	}
+
+	// A failed batch must move neither the tally nor the histogram.
+	fs, err := NewServer(&failingExec{fakeExec{maxBatch: 4, msPerImage: []float64{1}, entropies: []float64{0.1}}},
+		satisfaction.ImageTagging(), Config{
+			Workers: 1, MaxBatch: 4, QueueCap: 16,
+			ManualFlush: true, Clock: clk.now,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeServer(t, fs)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	f1, err := fs.Submit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := fs.FlushOne(); n != 1 {
+		t.Fatalf("flush moved %d, want 1", n)
+	}
+	if _, err := f1.Wait(ctx); err == nil {
+		t.Fatal("failed batch resolved without error")
+	}
+	fsnap := fs.Stats()
+	if fsnap.Batches != 0 || fsnap.MeanBatch != 0 {
+		t.Errorf("failed batch counted: batches=%d mean=%v", fsnap.Batches, fsnap.MeanBatch)
+	}
+	if fsnap.Failed != 1 {
+		t.Errorf("failed = %d, want 1", fsnap.Failed)
+	}
+	var fcount uint64
+	for _, h := range fs.met.batchSize {
+		fcount += h.Count()
+	}
+	if fcount != 0 {
+		t.Errorf("failed batch reached the batch-size histogram (count %d)", fcount)
+	}
+}
+
+// TestConcurrentClientsCoalesce is the cross-stream tentpole under the
+// race detector: concurrent clients of mixed archetypes land in shared
+// batches (occupancy above one), and the conservation invariant holds
+// exactly after a full drain.
+func TestConcurrentClientsCoalesce(t *testing.T) {
+	ex := &fakeExec{maxBatch: 8, msPerImage: []float64{4, 2}, entropies: []float64{0.1, 0.2}}
+	s, err := NewServer(ex, satisfaction.ImageTagging(), Config{Workers: 2, QueueCap: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients, perClient = 8, 25
+	tasks := []*satisfaction.Task{nil, taskPtr(satisfaction.AgeDetection()), nil, taskPtr(satisfaction.VideoSurveillance(30))}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var futs []*Future
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				f, err := s.SubmitWith(SubmitOptions{Task: tasks[c%len(tasks)]})
+				if err != nil {
+					continue // queue-full under burst is legal; conservation still holds
+				}
+				mu.Lock()
+				futs = append(futs, f)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, f := range futs {
+		f.Wait(ctx)
+	}
+	closeServer(t, s)
+
+	snap := s.Stats()
+	if snap.Submitted != snap.Completed+snap.Failed {
+		t.Fatalf("conservation broken after drain: submitted %d != completed %d + failed %d",
+			snap.Submitted, snap.Completed, snap.Failed)
+	}
+	if snap.QueueDepth != 0 {
+		t.Fatalf("queue depth %d after drain", snap.QueueDepth)
+	}
+	if snap.Batches == 0 || snap.MeanBatch <= 1 {
+		t.Errorf("no cross-stream coalescing: %d batches, mean %v", snap.Batches, snap.MeanBatch)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"context"
 	"errors"
 	"io"
+	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -81,6 +82,12 @@ type Config struct {
 	// arrivals when the deadline is not pressing (background tasks have no
 	// deadline at all); 0 means 20 ms.
 	LingerMS float64
+	// AgingMS is the starvation-free aging quantum of the per-archetype
+	// priority queues: a pending request gains one priority band per
+	// AgingMS waited, so a saturated interactive stream can never starve
+	// surveillance or background work forever. 0 means 50 ms; negative
+	// disables aging (strict band priority).
+	AgingMS float64
 	// Pace is how many wall-clock milliseconds a worker stays occupied per
 	// simulated millisecond of batch execution. 0 disables pacing (tests,
 	// offline drains); 1 serves in simulated real time, which is what
@@ -151,6 +158,9 @@ func (c Config) withDefaults(execMaxBatch int) Config {
 	if c.LingerMS <= 0 {
 		c.LingerMS = 20
 	}
+	if c.AgingMS == 0 {
+		c.AgingMS = 50
+	}
 	if c.RetryBaseMS <= 0 {
 		c.RetryBaseMS = 1
 	}
@@ -208,10 +218,14 @@ func (f *Future) Wait(ctx context.Context) (Result, error) {
 
 // request is one queued unit of work. tr travels with the request through
 // the pipeline; each stage marks it, and the worker parks it in the trace
-// ring at resolution.
+// ring at resolution. task is the request's own archetype (the server's
+// deployed task unless SubmitWith overrode it), which is what prices its
+// deadline, SoC and priority band.
 type request struct {
 	id    uint64
 	at    time.Time
+	task  satisfaction.Task
+	prio  int            // archetype priority band, classPriority(task.Class)
 	input *tensor.Tensor // optional C×H×W sample for executable pipelines
 	fut   *Future
 	tr    *obs.Trace
@@ -244,6 +258,12 @@ type Server struct {
 	// flushReqCh carries explicit Flush requests to the batcher; the
 	// reply channel resolves with how many requests the flush moved.
 	flushReqCh chan chan int
+	// flushOneReqCh flushes exactly one policy-formed batch (FlushOne);
+	// delayReqCh queries the batcher's current flush-due delay
+	// (NextFlushDelayMS). Both are the virtual-time driver's view of the
+	// batching policy.
+	flushOneReqCh chan chan int
+	delayReqCh    chan chan float64
 
 	batcherDone chan struct{}
 	workers     sync.WaitGroup
@@ -262,36 +282,49 @@ type Server struct {
 	// retryRng draws the deterministic backoff jitter; workers share it.
 	retryMu  sync.Mutex
 	retryRng *rand.Rand
+
+	// timerHook, when non-nil, replaces the batcher's flush timer; tests
+	// inject a hand-fired fake to pin flush-vs-submit interleavings.
+	timerHook func() batcherTimer
 }
 
 // NewServer starts the batcher and worker pool for an executor serving a
 // task. Callers must Close the server to release its goroutines.
 func NewServer(ex Executor, task satisfaction.Task, cfg Config) (*Server, error) {
+	return newServer(ex, task, cfg, nil)
+}
+
+// newServer is NewServer with the batcher-timer seam exposed; tests
+// inject a hand-fired timer before the batcher goroutine starts.
+func newServer(ex Executor, task satisfaction.Task, cfg Config, timerHook func() batcherTimer) (*Server, error) {
 	if ex == nil {
 		return nil, errors.New("serve: nil executor")
 	}
 	if err := task.Validate(); err != nil {
 		return nil, err
 	}
-	cfg = cfg.withDefaults(ex.MaxBatch())
+	cfg = cfg.withDefaults(BatchCap(ex, task))
 	s := &Server{
-		cfg:         cfg,
-		task:        task,
-		ex:          ex,
-		ctrl:        newController(ex.Levels(), baseLevel(ex, task), cfg.RecoverAfter),
-		st:          newStats(),
-		reg:         obs.NewRegistry(),
-		traces:      obs.NewTraceRing(traceRingCap),
-		submitCh:    make(chan *request, cfg.QueueCap),
-		flushCh:     make(chan *batchJob, cfg.Workers),
-		flushReqCh:  make(chan chan int),
-		batcherDone: make(chan struct{}),
+		cfg:           cfg,
+		task:          task,
+		ex:            ex,
+		ctrl:          newController(ex.Levels(), baseLevel(ex, task), cfg.RecoverAfter),
+		st:            newStats(),
+		reg:           obs.NewRegistry(),
+		traces:        obs.NewTraceRing(traceRingCap),
+		submitCh:      make(chan *request, cfg.QueueCap),
+		flushCh:       make(chan *batchJob, cfg.Workers),
+		flushReqCh:    make(chan chan int),
+		flushOneReqCh: make(chan chan int),
+		delayReqCh:    make(chan chan float64),
+		batcherDone:   make(chan struct{}),
 		// The breaker reads the configured clock, so virtual-time drivers
 		// (scenario engine, fleet soak) get deterministic cooldown windows.
 		brk: newBreaker(cfg.BreakerThreshold,
 			time.Duration(cfg.BreakerCooldownMS*float64(time.Millisecond)), cfg.Clock),
-		faults:   cfg.Faults,
-		retryRng: rand.New(rand.NewSource(cfg.Seed)),
+		faults:    cfg.Faults,
+		retryRng:  rand.New(rand.NewSource(cfg.Seed)),
+		timerHook: timerHook,
 	}
 	s.met = newMetrics(s.reg, s)
 	go s.batcher()
@@ -315,18 +348,92 @@ func baseLevel(ex Executor, task satisfaction.Task) int {
 	return base
 }
 
+// batchCapProbe bounds BatchCap's deadline-fit search; no roadmap platform
+// compiles a batch anywhere near it.
+const batchCapProbe = 64
+
+// BatchLimiter is implemented by executors whose batch size has a hard
+// ceiling beyond the compiled plan's pick — PlanExecutor's is the largest
+// batch that still fits device memory. BatchCap respects it.
+type BatchLimiter interface {
+	// BatchLimit returns the largest executable batch (≥ 1), or 0 for
+	// unlimited.
+	BatchLimit() int
+}
+
+// BatchCap is the serving batch ceiling for a deployment: at least the
+// plan's compiled batch, widened to the largest batch whose Eq 12 base-
+// level prediction still fits inside the task deadline (and inside the
+// executor's memory ceiling when it declares one). The compiler picks its
+// batch from a single stream's data rate — one frame per surveillance
+// period — which is exactly the choice that pinned serving to singleton
+// flushes; cross-stream coalescing is bounded by the deadline instead.
+func BatchCap(ex Executor, task satisfaction.Task) int {
+	cap := ex.MaxBatch()
+	if cap < 1 {
+		cap = 1
+	}
+	deadline := task.Deadline()
+	if math.IsInf(deadline, 1) {
+		return cap
+	}
+	limit := batchCapProbe
+	if bl, ok := ex.(BatchLimiter); ok {
+		if l := bl.BatchLimit(); l > 0 && l < limit {
+			limit = l
+		}
+	}
+	base := baseLevel(ex, task)
+	best := cap
+	for b := cap + 1; b <= limit; b++ {
+		if ex.PredictMS(base, b) > deadline {
+			break // Eq 12 is monotone in batch; nothing larger fits either
+		}
+		best = b
+	}
+	return best
+}
+
 // Submit enqueues one request without an input sample.
-func (s *Server) Submit() (*Future, error) { return s.SubmitInput(nil) }
+func (s *Server) Submit() (*Future, error) { return s.SubmitWith(SubmitOptions{}) }
 
 // SubmitInput enqueues one request carrying a C×H×W sample for pipelines
 // with an executable network attached. It never blocks: admission control
 // answers immediately with a future, ErrQueueFull, or ErrServerClosed.
 func (s *Server) SubmitInput(input *tensor.Tensor) (*Future, error) {
+	return s.SubmitWith(SubmitOptions{Input: input})
+}
+
+// SubmitOptions parameterizes one submission beyond the bare Submit.
+type SubmitOptions struct {
+	// Input is an optional C×H×W sample for executable pipelines.
+	Input *tensor.Tensor
+	// Task overrides the server's deployed archetype for this request:
+	// its deadline prices admission and batching slack, its class picks
+	// the priority band, and its SoC model scores the result. nil uses
+	// the deployed task — the single-archetype fast path.
+	Task *satisfaction.Task
+}
+
+// SubmitWith enqueues one request with explicit options, letting multiple
+// archetype streams share one deployed server; the per-archetype priority
+// queues order them interactive > surveillance > background with
+// starvation-free aging (Config.AgingMS).
+func (s *Server) SubmitWith(opts SubmitOptions) (*Future, error) {
+	task := s.task
+	if opts.Task != nil {
+		if err := opts.Task.Validate(); err != nil {
+			return nil, err
+		}
+		task = *opts.Task
+	}
 	id := s.nextID.Add(1)
 	r := &request{
 		id:    id,
 		at:    s.stamp(),
-		input: input,
+		task:  task,
+		prio:  classPriority(task.Class),
+		input: opts.Input,
 		fut:   &Future{ch: make(chan outcome, 1)},
 		tr:    obs.NewTrace(id),
 	}
@@ -340,9 +447,14 @@ func (s *Server) SubmitInput(input *tensor.Tensor) (*Future, error) {
 		s.st.rejectedInc(rejectSaturated)
 		return nil, ErrQueueFull
 	}
-	if s.cfg.RejectUnmeetable && s.task.SlackMS(0, s.admitPredictMS()) < 0 {
-		s.st.rejectedInc(rejectUnmeetable)
-		return nil, ErrDeadlineUnmeetable
+	if s.cfg.RejectUnmeetable {
+		// The same safety guard the batching policy flushes with: admitting
+		// at exactly zero predicted slack books a miss whenever the Eq 12
+		// estimate trails the simulated execution.
+		if pred := s.admitPredictMS(); task.SlackMS(0, pred) < slackGuardFrac*pred {
+			s.st.rejectedInc(rejectUnmeetable)
+			return nil, ErrDeadlineUnmeetable
+		}
 	}
 	// Mark before the send: the channel hand-off transfers trace
 	// ownership to the batcher, so no mark may follow it here.
@@ -401,12 +513,15 @@ func (s *Server) PredictCompletionMS() float64 {
 	return s.predictQueueMS(s.ctrl.Level())
 }
 
-// admitPredictMS prices admission at the *deepest* level escalation could
-// reach (the cheapest possible execution), so early rejection only sheds
-// requests graceful degradation could not have saved. With degradation
+// admitPredictMS prices admission at the deepest level escalation can
+// currently *reach* (the cheapest execution still open to it), so early
+// rejection only sheds requests graceful degradation could not have
+// saved. That is the path's end normally, but while entropy calibration
+// holds a lower ceiling, pricing at the fenced-off deeper levels would
+// admit requests the controller then refuses to save. With degradation
 // disabled the pinned level is the only one available.
 func (s *Server) admitPredictMS() float64 {
-	level := s.ex.Levels() - 1
+	level := s.ctrl.reachable()
 	if s.cfg.DisableDegrade {
 		level = s.ctrl.Level()
 	}
@@ -455,6 +570,38 @@ func (s *Server) Flush() int {
 		return <-done
 	case <-s.batcherDone:
 		return 0
+	}
+}
+
+// FlushOne flushes exactly one policy-formed batch: the batcher drains the
+// admission queue into its priority bands and hands the worker pool the
+// top MaxBatch requests in effective-priority order. It returns how many
+// requests the batch carried (0 when nothing was pending or the server is
+// draining). Virtual-time drivers use it to execute one batch per step
+// while leaving the rest of the backlog queued — the composition the
+// autonomous batcher would have produced.
+func (s *Server) FlushOne() int {
+	done := make(chan int, 1)
+	select {
+	case s.flushOneReqCh <- done:
+		return <-done
+	case <-s.batcherDone:
+		return 0
+	}
+}
+
+// NextFlushDelayMS reports how much longer the batching policy would hold
+// the current pending batch open: the tightest pending head's remaining
+// slack, capped by the linger window (≤ 0 means due now). It returns +Inf
+// when nothing is pending or the server is draining. Virtual-time drivers
+// use it to place the flush instant on their own clock.
+func (s *Server) NextFlushDelayMS() float64 {
+	done := make(chan float64, 1)
+	select {
+	case s.delayReqCh <- done:
+		return <-done
+	case <-s.batcherDone:
+		return math.Inf(1)
 	}
 }
 
@@ -562,6 +709,12 @@ func (s *Server) Task() satisfaction.Task { return s.task }
 
 // Level returns the current degradation level (0 = unperforated).
 func (s *Server) Level() int { return s.ctrl.Level() }
+
+// MaxBatch returns the effective batch cap the server coalesces to, after
+// defaulting: the configured cap, or the deadline-aware BatchCap when the
+// configuration left it zero. Virtual-time drivers use it to decide when
+// a pending backlog has filled a batch.
+func (s *Server) MaxBatch() int { return s.cfg.MaxBatch }
 
 // Metrics returns the server's metric registry — every serving gauge,
 // counter and histogram lives here; callers may register their own

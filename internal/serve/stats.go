@@ -58,6 +58,7 @@ type stats struct {
 	batches   uint64
 	batchSum  uint64
 	missed    uint64
+	promoted  uint64 // requests batched ahead of a more urgent band via aging
 	demoted   uint64 // batches demoted to simulation-only by gatherInputs
 	retries   uint64 // batch execution attempts retried after a failure
 	timeouts  uint64 // attempts cut off by the per-attempt timeout
@@ -119,6 +120,14 @@ func (s *stats) rejectedInc(reason rejectReason) {
 	s.mu.Lock()
 	s.rejected++
 	s.rejects[reason]++
+	s.mu.Unlock()
+}
+
+// promotedAdd counts requests the aging policy batched ahead of a
+// natively more urgent band's waiting head.
+func (s *stats) promotedAdd(n uint64) {
+	s.mu.Lock()
+	s.promoted += n
 	s.mu.Unlock()
 }
 
@@ -220,9 +229,9 @@ type Snapshot struct {
 	RejectedUnmeetable uint64 `json:"rejected_unmeetable"`
 	RejectedSaturated  uint64 `json:"rejected_saturated"`
 	Completed          uint64 `json:"completed"`
-	Failed         uint64 `json:"failed"`
-	Batches        uint64 `json:"batches"`
-	DemotedBatches uint64 `json:"demoted_batches"`
+	Failed             uint64 `json:"failed"`
+	Batches            uint64 `json:"batches"`
+	DemotedBatches     uint64 `json:"demoted_batches"`
 
 	MeanBatch float64 `json:"mean_batch"`
 	// ThroughputRPS is the completion rate over the last
@@ -234,10 +243,17 @@ type Snapshot struct {
 	P95MS float64 `json:"p95_ms"`
 	P99MS float64 `json:"p99_ms"`
 
+	// DeadlineMissed is the absolute count behind DeadlineMissRate, so
+	// drivers can report rejected-vs-missed separately without deriving
+	// counts from a float rate.
+	DeadlineMissed   uint64  `json:"deadline_missed"`
 	DeadlineMissRate float64 `json:"deadline_miss_rate"`
-	MeanSoC          float64 `json:"mean_soc"`
-	MeanEntropy      float64 `json:"mean_entropy"`
-	EnergyPerImageJ  float64 `json:"energy_per_image_j"`
+	// Promotions counts requests the aging policy batched ahead of a
+	// natively more urgent band (starvation-free priority queues).
+	Promotions      uint64  `json:"priority_promotions"`
+	MeanSoC         float64 `json:"mean_soc"`
+	MeanEntropy     float64 `json:"mean_entropy"`
+	EnergyPerImageJ float64 `json:"energy_per_image_j"`
 
 	Level        int    `json:"level"`
 	QueueDepth   int    `json:"queue_depth"`
@@ -262,27 +278,29 @@ func (s *stats) snapshot(task satisfaction.Task, level int, esc, cal, rec uint64
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	snap := Snapshot{
-		Task:           task.Name,
-		Class:          task.Class.String(),
+		Task:               task.Name,
+		Class:              task.Class.String(),
 		Submitted:          s.submitted,
 		Rejected:           s.rejected,
 		RejectedQueueFull:  s.rejects[rejectQueueFull],
 		RejectedUnmeetable: s.rejects[rejectUnmeetable],
 		RejectedSaturated:  s.rejects[rejectSaturated],
 		Completed:          s.completed,
-		Failed:         s.failed,
-		Batches:        s.batches,
-		DemotedBatches: s.demoted,
-		Level:          level,
-		QueueDepth:     int(s.inQueue),
-		Escalations:    esc,
-		Calibrations:   cal,
-		Recoveries:     rec,
-		Retries:        s.retries,
-		ExecTimeouts:   s.timeouts,
-		BreakerState:   brkState.String(),
-		BreakerTrips:   trips,
-		BreakerResets:  resets,
+		Failed:             s.failed,
+		Batches:            s.batches,
+		DemotedBatches:     s.demoted,
+		DeadlineMissed:     s.missed,
+		Promotions:         s.promoted,
+		Level:              level,
+		QueueDepth:         int(s.inQueue),
+		Escalations:        esc,
+		Calibrations:       cal,
+		Recoveries:         rec,
+		Retries:            s.retries,
+		ExecTimeouts:       s.timeouts,
+		BreakerState:       brkState.String(),
+		BreakerTrips:       trips,
+		BreakerResets:      resets,
 	}
 	if s.batches > 0 {
 		snap.MeanBatch = float64(s.batchSum) / float64(s.batches)
