@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: ci vet build test test-short race bench bench-gemm bench-serve bench-fleet fuzz fuzz-blocked fuzz-predict fuzz-mmpp chaos serve-smoke scenarios scenarios-smoke fleet-smoke
+.PHONY: ci vet build test test-short race e2e soak-fleet bench bench-gemm bench-serve bench-fleet fuzz fuzz-blocked fuzz-predict fuzz-mmpp chaos serve-smoke scenarios scenarios-smoke fleet-smoke
 
 # ci is the gate every change must pass: static checks, full build, the
 # tier-1 test suite, the race detector over the packages that own the
-# parallel GEMM backend and the serving/scenario/fleet pipelines, and the
-# scenario + fleet smoke grids.
-ci: vet build test race scenarios-smoke fleet-smoke
+# parallel GEMM backend and the serving/scenario/fleet pipelines, the
+# real-daemon e2e suite (short-mode capped), and the scenario + fleet
+# smoke grids.
+ci: vet build test race e2e scenarios-smoke fleet-smoke
 
 vet:
 	$(GO) vet ./...
@@ -22,7 +23,16 @@ test-short:
 
 race:
 	$(GO) test -race ./internal/tensor/ ./internal/nn/ ./internal/serve/ ./internal/obs/ \
-		./internal/fault/ ./internal/scenario/ ./internal/workload/ ./internal/fleet/
+		./internal/fault/ ./internal/scenario/ ./internal/workload/ ./internal/fleet/ \
+		./internal/fleet/e2e/
+
+# e2e runs the real-daemon end-to-end suite: N pcnnd-equivalent HTTP
+# daemons on loopback, an outer fleet of HTTPReplicas routing mixed-model
+# traffic by live Eq 12 predictions, kill/restart churn, and fleet-wide
+# request conservation. Short mode caps the churn iterations so the
+# target stays ci-fast.
+e2e:
+	$(GO) test -short -count=1 ./internal/fleet/e2e/
 
 # bench reproduces the numbers recorded in BENCH_gemm.json.
 bench:
@@ -92,12 +102,18 @@ scenarios:
 scenarios-smoke:
 	$(GO) run ./cmd/pcnnd -scenarios - -grid smoke -seed 42 >/dev/null
 
-# bench-fleet regenerates the committed fleet soak (BENCH_fleet.json):
-# replica counts {1,3,5} × hedging {off,on} over a mixed
-# AlexNet+VGG+GoogLeNet trace with a mid-soak hot-swap, byte-for-byte
-# reproducible at the fixed seed.
-bench-fleet:
-	$(GO) run ./cmd/pcnnd -fleet-bench BENCH_fleet.json -seed 42
+# soak-fleet regenerates the committed fleet soak (BENCH_fleet.json) at
+# full scale: ≥1,000,000 requests per grid row streamed through the
+# chunked aggregator (flat driver memory), replica counts {1,3,5} ×
+# hedging {off,on} over a mixed AlexNet+VGG+GoogLeNet trace with a
+# mid-soak hot-swap, byte-for-byte reproducible at the fixed seed.
+soak-fleet:
+	$(GO) run ./cmd/pcnnd -fleet-bench BENCH_fleet.json -requests 1000000 -seed 42
+
+# bench-fleet is the historical name for the BENCH_fleet.json refresh; it
+# now delegates to the million-request soak so the committed file always
+# carries the full-scale rows.
+bench-fleet: soak-fleet
 
 # fleet-smoke runs a seconds-long fleet soak as a CI gate: it fails unless
 # request conservation holds, throughput scales with replicas, and the

@@ -1,7 +1,6 @@
 package main
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -109,131 +108,26 @@ func runFleetDaemon(addr string, fl *pcnn.Fleet) error {
 	return http.ListenAndServe(addr, newFleetHandler(fl))
 }
 
-// newFleetHandler wires the fleet HTTP API.
+// newFleetHandler wires the fleet HTTP API — the library's full daemon
+// mux (POST /infer, GET /predict, GET /stats, GET /fleet, GET /healthz,
+// GET /metrics, POST /swap, POST /busy), shared with the e2e harness so
+// the daemon the tests drive is the daemon this binary serves.
 func newFleetHandler(fl *pcnn.Fleet) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/infer", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST only", http.StatusMethodNotAllowed)
-			return
-		}
-		model := r.URL.Query().Get("model")
-		if model == "" {
-			model = "AlexNet"
-		}
-		client := r.URL.Query().Get("client")
-		if fl.Registry().Current(model) == nil {
-			http.Error(w, fmt.Sprintf("unknown model %q", model), http.StatusBadRequest)
-			return
-		}
-		ff, err := fl.Submit(model, client)
-		switch {
-		case errors.Is(err, pcnn.ErrQueueFull), errors.Is(err, pcnn.ErrDeadlineUnmeetable):
-			http.Error(w, err.Error(), http.StatusTooManyRequests)
-			return
-		case errors.Is(err, pcnn.ErrNoReplicas):
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
-			return
-		case err != nil:
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		res, replica, err := ff.Wait(r.Context())
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		w.Header().Set("X-Pcnn-Replica", replica)
-		w.Header().Set("Content-Type", "application/json")
-		emit(w, res)
-	})
-	mux.HandleFunc("/fleet", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		emit(w, fl.Snapshot())
-	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		snap := fl.Snapshot()
-		healthy := 0
-		for _, r := range snap.Replicas {
-			if r.Healthy && !r.Ejected {
-				healthy++
-			}
-		}
-		w.Header().Set("Content-Type", "application/json")
-		if healthy == 0 {
-			w.WriteHeader(http.StatusServiceUnavailable)
-		}
-		emit(w, struct {
-			Healthy int `json:"healthy_replicas"`
-			Total   int `json:"total_replicas"`
-		}{healthy, len(snap.Replicas)})
-	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", prometheusContentType)
-		if err := fl.WriteMetrics(w); err != nil {
-			log.Printf("metrics: %v", err)
-		}
-	})
-	mux.HandleFunc("/swap", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST only", http.StatusMethodNotAllowed)
-			return
-		}
-		model := r.URL.Query().Get("model")
-		task, ok := fleetModelTask()[model]
-		if !ok {
-			http.Error(w, fmt.Sprintf("unknown model %q", model), http.StatusBadRequest)
-			return
-		}
-		dvfs := r.URL.Query().Get("dvfs") == "1"
-		platforms := fleetPlatformsOf(fl)
-		d, err := pcnn.CompileFleetDeployment(model, task, platforms, dvfs)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		if _, err := fl.Swap(d); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		// Old versions drain in the background: routing already resolves to
-		// the new deployment, retired servers finish their in-flight work.
-		go func() {
-			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
-			defer cancel()
-			if n, err := fl.DrainRetired(ctx); err != nil {
-				log.Printf("swap: drained %d retired servers with error: %v", n, err)
-			} else if n > 0 {
-				log.Printf("swap: drained %d retired servers", n)
-			}
-		}()
-		w.Header().Set("Content-Type", "application/json")
-		emit(w, struct {
-			Model   string `json:"model"`
-			Version int    `json:"version"`
-		}{model, fl.Registry().Current(model).Version})
-	})
-	return mux
-}
-
-// fleetPlatformsOf recovers the distinct platform pool from membership.
-func fleetPlatformsOf(fl *pcnn.Fleet) []string {
-	seen := map[string]bool{}
-	var out []string
-	for _, r := range fl.Snapshot().Replicas {
-		if !seen[r.Platform] {
-			seen[r.Platform] = true
-			out = append(out, r.Platform)
-		}
-	}
-	return out
+	return pcnn.NewFleetHandler(fl)
 }
 
 // runFleetBench writes the deterministic fleet soak (BENCH_fleet.json).
-// smoke shrinks the spec to seconds and enforces the acceptance
-// invariants, exiting nonzero on violation — the `make fleet-smoke` gate.
-func runFleetBench(path string, seed int64, smoke bool) error {
+// requests > 0 sets the total request target per grid row, split evenly
+// across the three models (rounded up, so `-requests 1000000` drives at
+// least a million requests per row through the streamed chunk
+// aggregator). smoke shrinks the spec to seconds and enforces the
+// acceptance invariants, exiting nonzero on violation — the
+// `make fleet-smoke` gate.
+func runFleetBench(path string, seed int64, requests int, smoke bool) error {
 	spec := pcnn.FleetSoakSpec{Seed: seed}
+	if requests > 0 {
+		spec.RequestsPerModel = (requests + 2) / 3
+	}
 	if smoke {
 		spec.RequestsPerModel = 60
 		spec.ClientsPerModel = 3

@@ -7,10 +7,12 @@
 //
 //	go run ./cmd/pcnnd -net AlexNet -platform TX1 -task surveillance -addr :8080
 //	    HTTP daemon: POST /infer serves one request, GET /stats reports
-//	    the serving snapshot, GET /metrics exports Prometheus text
-//	    format, GET /trace returns recent request traces, GET /profile
-//	    the per-layer time/energy breakdown, GET /healthz liveness.
-//	    -debug-addr :6060 additionally serves net/http/pprof.
+//	    the serving snapshot, GET /predict?batch=B the live Eq 12
+//	    forecast (predicted batch latency, capacity, degrade level,
+//	    queue depth, busy horizon), GET /metrics exports Prometheus
+//	    text format, GET /trace returns recent request traces,
+//	    GET /profile the per-layer time/energy breakdown, GET /healthz
+//	    liveness. -debug-addr :6060 additionally serves net/http/pprof.
 //
 //	go run ./cmd/pcnnd -net AlexNet -platform TX1 -task surveillance -load closed -n 100 -smoke
 //	    built-in load generator: closed-loop (N concurrent users, think
@@ -24,12 +26,17 @@
 //	    fleet daemon: N in-process replicas on heterogeneous platforms
 //	    serving AlexNet+VGGNet+GoogLeNet behind one endpoint. POST
 //	    /infer?model=M&client=C routes by consistent hash (hedging with
-//	    -hedge), GET /fleet reports membership and routing counters,
-//	    POST /swap?model=M&dvfs=1 hot-swaps a deployment with zero
-//	    downtime, GET /metrics merges per-replica serve metrics.
+//	    -hedge), GET /predict?model=M&batch=B returns the routed
+//	    replica's Eq 12 forecast (what HTTPReplica polls), GET /stats
+//	    the per-model serve snapshots, GET /fleet membership and
+//	    routing counters, POST /swap?model=M&dvfs=1 hot-swaps a
+//	    deployment with zero downtime, POST /busy?model=M&ms=D declares
+//	    a busy horizon, GET /metrics merges per-replica serve metrics.
 //	    -fleet-bench FILE writes the deterministic virtual-clock soak
-//	    (BENCH_fleet.json); with -fleet-smoke it shrinks to a seconds-long
-//	    CI gate that fails unless the soak invariants hold.
+//	    (BENCH_fleet.json); -requests R sets its per-row request total
+//	    (the committed file carries ≥1,000,000 per row, streamed through
+//	    the chunked aggregator); with -fleet-smoke it shrinks to a
+//	    seconds-long CI gate that fails unless the soak invariants hold.
 package main
 
 import (
@@ -98,6 +105,8 @@ func main() {
 			"write the deterministic fleet soak to this JSON file (- for stdout); BENCH_fleet.json's generator")
 		fleetSmoke = flag.Bool("fleet-smoke", false,
 			"with -fleet-bench: shrink the soak to seconds and exit nonzero unless its invariants hold")
+		fleetReqs = flag.Int("requests", 0,
+			"with -fleet-bench: total requests per grid row, split evenly across the three models (0 = spec default)")
 
 		faultSpec = flag.String("fault-spec", "",
 			"seeded fault injection, e.g. seed=42,launch=0.05,slow=0.1,slowx=4,corrupt=0.02,sat=0.01,skew=2.5")
@@ -123,7 +132,7 @@ func main() {
 		return
 	}
 	if *fleetBench != "" {
-		if err := runFleetBench(*fleetBench, *seed, *fleetSmoke); err != nil {
+		if err := runFleetBench(*fleetBench, *seed, *fleetReqs, *fleetSmoke); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -702,6 +711,19 @@ func newHandler(srv *pcnn.Server) http.Handler {
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
 		emit(w, srv.Stats())
+	})
+	mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) {
+		batch := 0
+		if q := r.URL.Query().Get("batch"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				http.Error(w, "batch must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			batch = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		emit(w, srv.Predict(batch))
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", prometheusContentType)

@@ -125,6 +125,22 @@ func TestDaemonObservabilityEndpoints(t *testing.T) {
 		}
 	}
 
+	// /predict: the live Eq 12 serving forecast, priced for a batch.
+	rec = get(t, h, "/predict?batch=3")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/predict status %d: %s", rec.Code, rec.Body.String())
+	}
+	var pred pcnn.ServePrediction
+	if err := json.Unmarshal(rec.Body.Bytes(), &pred); err != nil {
+		t.Fatalf("/predict decode: %v", err)
+	}
+	if pred.CapacityRPS <= 0 || pred.MaxBatch <= 0 || pred.BatchMS <= 0 {
+		t.Errorf("degenerate prediction: %+v", pred)
+	}
+	if rec := get(t, h, "/predict?batch=-1"); rec.Code != http.StatusBadRequest {
+		t.Errorf("/predict?batch=-1 status %d, want 400", rec.Code)
+	}
+
 	// /stats still reports the JSON snapshot, now with the new fields.
 	rec = get(t, h, "/stats")
 	var snap pcnn.ServeSnapshot

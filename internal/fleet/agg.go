@@ -1,0 +1,147 @@
+package fleet
+
+import "math"
+
+// The soak's latency distribution is kept as an integer-count
+// log-bucketed histogram instead of a retained sample: ~100 buckets per
+// decade from 1 µs-scale to 10³-second-scale responses (≈2.3% relative
+// resolution), fixed size regardless of request count. Integer counts
+// make chunk merging exact addition, so streaming per-chunk aggregation
+// is bit-identical to a monolithic pass — the property the
+// million-request soak's flat memory rests on.
+const (
+	latHistPerDecade = 100
+	latHistDecades   = 9
+	latHistBuckets   = latHistPerDecade * latHistDecades
+	latHistMinMS     = 1e-3
+)
+
+// latHist is a fixed-size log-bucketed latency histogram with exact
+// (associative, commutative) merge.
+type latHist struct {
+	counts [latHistBuckets]uint64
+	total  uint64
+}
+
+// bucketOf maps a latency to its bucket. The mapping is a pure function
+// of the value, so where a sample lands never depends on chunk
+// boundaries.
+func bucketOf(ms float64) int {
+	if !(ms > latHistMinMS) { // NaN, zero and sub-minimum all clamp low
+		return 0
+	}
+	f := math.Floor(math.Log10(ms/latHistMinMS) * latHistPerDecade)
+	// Clamp in float space: int(+Inf) is implementation-defined.
+	if f >= latHistBuckets {
+		return latHistBuckets - 1
+	}
+	if f < 0 {
+		return 0
+	}
+	return int(f)
+}
+
+// observe folds one latency sample in.
+func (h *latHist) observe(ms float64) {
+	h.counts[bucketOf(ms)]++
+	h.total++
+}
+
+// merge adds another histogram's counts — exact, order-independent.
+func (h *latHist) merge(o *latHist) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+}
+
+// percentile returns the lower edge of the bucket holding the p-th
+// percentile sample (0 when empty) — the bucket's deterministic
+// representative value.
+func (h *latHist) percentile(p float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(p * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			return latHistMinMS * math.Pow(10, float64(i)/latHistPerDecade)
+		}
+	}
+	return latHistMinMS * math.Pow(10, float64(latHistBuckets-1)/latHistPerDecade)
+}
+
+// percentiles returns the 50th/95th/99th latency percentiles.
+func (h *latHist) percentiles() (p50, p95, p99 float64) {
+	return h.percentile(0.50), h.percentile(0.95), h.percentile(0.99)
+}
+
+// modelAgg is one model's slice of a soak aggregate.
+type modelAgg struct {
+	requests int
+	served   int
+	missed   int
+	hist     latHist
+}
+
+// soakAgg accumulates resolved requests — per chunk, then merged into
+// the row aggregate. Everything in it is integer counters and fixed-size
+// histograms: merging chunks is exact.
+type soakAgg struct {
+	served   int
+	failed   int
+	missed   int
+	hist     latHist
+	perModel []modelAgg
+	resolved int // requests folded in since construction/reset
+}
+
+func newSoakAgg(nModels int) *soakAgg {
+	return &soakAgg{perModel: make([]modelAgg, nModels)}
+}
+
+// observeServed folds one successfully served request in.
+func (a *soakAgg) observeServed(model int, responseMS float64, deadlineMet bool) {
+	a.resolved++
+	a.served++
+	a.hist.observe(responseMS)
+	m := &a.perModel[model]
+	m.requests++
+	m.served++
+	m.hist.observe(responseMS)
+	if !deadlineMet {
+		a.missed++
+		m.missed++
+	}
+}
+
+// observeFailed folds one request whose every leg failed.
+func (a *soakAgg) observeFailed(model int) {
+	a.resolved++
+	a.failed++
+	a.perModel[model].requests++
+}
+
+// merge folds a chunk into the row aggregate and resets the chunk for
+// reuse.
+func (a *soakAgg) merge(chunk *soakAgg) {
+	a.served += chunk.served
+	a.failed += chunk.failed
+	a.missed += chunk.missed
+	a.resolved += chunk.resolved
+	a.hist.merge(&chunk.hist)
+	for i := range chunk.perModel {
+		cm := &chunk.perModel[i]
+		m := &a.perModel[i]
+		m.requests += cm.requests
+		m.served += cm.served
+		m.missed += cm.missed
+		m.hist.merge(&cm.hist)
+	}
+	*chunk = soakAgg{perModel: make([]modelAgg, len(chunk.perModel))}
+}

@@ -1,0 +1,229 @@
+// Package e2e is the real-daemon end-to-end harness: it spawns N
+// pcnnd-style fleet daemons as real HTTP servers on loopback TCP, routes
+// mixed-model traffic to them through an outer Fleet of HTTPReplicas,
+// and can kill and restart any daemon mid-run on its original address —
+// which is what lets the tests exercise ejection → readmission,
+// wire-crossing Eq 12 predictions and fleet-wide request conservation
+// against the production serving stack rather than in-process fakes.
+package e2e
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"pcnn/internal/fleet"
+	"pcnn/internal/satisfaction"
+	"pcnn/internal/serve"
+)
+
+// Model pairs a network name with the archetype task it serves under.
+type Model struct {
+	Name string
+	Task satisfaction.Task
+}
+
+// Harness owns the compiled serving material and the daemon set. Model
+// executors are compiled once per (model, platform) and shared by every
+// daemon and every restart — compilation is the expensive part, and
+// sharing it is exactly what a production fleet rolling the same build
+// across machines does.
+type Harness struct {
+	models    []Model
+	executors map[string]map[string]serve.Executor // model → platform → executor
+	serveCfg  serve.Config
+
+	mu      sync.Mutex
+	daemons []*Daemon
+}
+
+// NewHarness compiles every model for every platform and returns a
+// harness ready to spawn daemons. serveCfg is the per-model server
+// template each daemon's node uses (real clock, autonomous batching).
+func NewHarness(models []Model, platforms []string, serveCfg serve.Config) (*Harness, error) {
+	if len(models) == 0 {
+		return nil, fmt.Errorf("e2e: harness needs at least one model")
+	}
+	h := &Harness{
+		models:    models,
+		executors: map[string]map[string]serve.Executor{},
+		serveCfg:  serveCfg,
+	}
+	for _, m := range models {
+		d, err := fleet.CompileDeployment(m.Name, m.Task, platforms, false)
+		if err != nil {
+			return nil, err
+		}
+		ex := make(map[string]serve.Executor, len(platforms))
+		for _, p := range d.Platforms() {
+			ex[p] = d.Executor(p)
+		}
+		h.executors[m.Name] = ex
+	}
+	return h, nil
+}
+
+// Models returns the model names the harness serves.
+func (h *Harness) Models() []string {
+	out := make([]string, 0, len(h.models))
+	for _, m := range h.models {
+		out = append(out, m.Name)
+	}
+	return out
+}
+
+// NewRouterRegistry builds a fresh registry holding every harness model
+// — the routing metadata (task contracts, versions) an outer Fleet of
+// HTTPReplicas needs to route to the daemons.
+func (h *Harness) NewRouterRegistry() (*fleet.Registry, error) {
+	reg := fleet.NewRegistry()
+	for _, m := range h.models {
+		dep, err := fleet.NewDeployment(m.Name, m.Task, h.executors[m.Name])
+		if err != nil {
+			return nil, err
+		}
+		if err := reg.Register(dep); err != nil {
+			return nil, err
+		}
+	}
+	return reg, nil
+}
+
+// StartDaemon boots one daemon: a fresh inner single-node fleet behind
+// the full fleet.Handler mux, served on a loopback TCP listener. The
+// daemon's address is assigned on first start and survives Kill/Restart.
+func (h *Harness) StartDaemon(id, platform string) (*Daemon, error) {
+	d := &Daemon{id: id, platform: platform, h: h}
+	if err := d.start(); err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	h.daemons = append(h.daemons, d)
+	h.mu.Unlock()
+	return d, nil
+}
+
+// Close kills every daemon the harness started.
+func (h *Harness) Close() {
+	h.mu.Lock()
+	daemons := append([]*Daemon(nil), h.daemons...)
+	h.mu.Unlock()
+	for _, d := range daemons {
+		_ = d.Kill()
+	}
+}
+
+// Daemon is one real fleet daemon: an inner Fleet (one local Node
+// serving every harness model) behind fleet.Handler on its own TCP
+// address. Kill tears the HTTP server and inner fleet down; Restart
+// rebuilds both on the same address with fresh state — the serving
+// counters reset, exactly like a crashed process coming back.
+type Daemon struct {
+	id       string
+	platform string
+	h        *Harness
+
+	mu      sync.Mutex
+	addr    string
+	fl      *fleet.Fleet
+	httpSrv *http.Server
+	running bool
+}
+
+// start builds the inner fleet and serves it; on restart it rebinds the
+// daemon's original address.
+func (d *Daemon) start() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.running {
+		return fmt.Errorf("e2e: daemon %s already running", d.id)
+	}
+	addr := d.addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("e2e: daemon %s listen: %w", d.id, err)
+	}
+	d.addr = ln.Addr().String()
+
+	reg := fleet.NewRegistry()
+	for _, m := range d.h.models {
+		dep, err := fleet.NewDeployment(m.Name, m.Task, d.h.executors[m.Name])
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		if err := reg.Register(dep); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	fl := fleet.New(reg, fleet.Config{})
+	node := fleet.NewNode(d.id+"-n0", d.platform, reg, fleet.NodeConfig{Serve: d.h.serveCfg})
+	if err := fl.AddReplica(node); err != nil {
+		ln.Close()
+		return err
+	}
+
+	srv := &http.Server{Handler: fleet.Handler(fl)}
+	go func() { _ = srv.Serve(ln) }()
+	d.fl = fl
+	d.httpSrv = srv
+	d.running = true
+	return nil
+}
+
+// ID returns the daemon's identity.
+func (d *Daemon) ID() string { return d.id }
+
+// Platform returns the daemon's GPU platform name.
+func (d *Daemon) Platform() string { return d.platform }
+
+// Addr returns the daemon's TCP address (stable across restarts).
+func (d *Daemon) Addr() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.addr
+}
+
+// URL returns the daemon's HTTP base URL.
+func (d *Daemon) URL() string { return "http://" + d.Addr() }
+
+// Running reports whether the daemon is currently serving.
+func (d *Daemon) Running() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.running
+}
+
+// Kill stops the daemon hard: the HTTP server closes its listener and
+// every open connection (in-flight requests see a reset, like a process
+// crash), then the inner fleet drains so no goroutines leak.
+func (d *Daemon) Kill() error {
+	d.mu.Lock()
+	if !d.running {
+		d.mu.Unlock()
+		return fmt.Errorf("e2e: daemon %s not running", d.id)
+	}
+	srv, fl := d.httpSrv, d.fl
+	d.httpSrv, d.fl = nil, nil
+	d.running = false
+	d.mu.Unlock()
+
+	err := srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if cerr := fl.Close(ctx); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Restart boots the daemon again on its original address with fresh
+// serving state.
+func (d *Daemon) Restart() error { return d.start() }

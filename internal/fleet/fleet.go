@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -82,8 +83,8 @@ type Fleet struct {
 	reg *Registry
 
 	mu       sync.Mutex
-	replicas []Replica       // registration order — the deterministic iteration order
-	byID     map[string]int  // id → replicas index
+	replicas []Replica      // registration order — the deterministic iteration order
+	byID     map[string]int // id → replicas index
 	ejected  map[string]time.Time
 	rings    map[string]*Ring // per-model, rebuilt lazily on generation change
 	ringGen  uint64           // bumped on membership change
@@ -273,6 +274,12 @@ func (f *Fleet) Submit(model, key string) (*FleetFuture, error) {
 		pred := make([]float64, len(rest))
 		for i, r := range rest {
 			pred[i] = r.PredictCompletionMS(model)
+			// 0 means the replica cannot predict (stale remote cache,
+			// unservable model): order it behind every live prediction
+			// rather than letting "unknown" masquerade as "idle".
+			if pred[i] <= 0 {
+				pred[i] = math.Inf(1)
+			}
 		}
 		sort.SliceStable(rest, func(i, j int) bool { return pred[i] < pred[j] })
 	}
@@ -551,6 +558,7 @@ func (f *Fleet) WriteMetrics(w io.Writer) error {
 	for _, r := range replicas {
 		node, ok := r.(*Node)
 		if !ok {
+			mergeReplicaMetrics(exp, r)
 			continue
 		}
 		node.mu.Lock()

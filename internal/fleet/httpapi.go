@@ -1,0 +1,382 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"pcnn/internal/obs"
+	"pcnn/internal/serve"
+)
+
+// prometheusContentType is the exposition-format content type /metrics
+// answers with.
+const prometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// ModelPrediction is the GET /predict wire payload: one model's Eq 12
+// serving prediction as routed right now. Replica/Platform/Version name
+// the best (fastest-predicting) replica; CapacityRPS and QueueDepth
+// aggregate over every active replica so a remote router sees the whole
+// daemon's headroom, not one server's.
+type ModelPrediction struct {
+	Model    string `json:"model"`
+	Version  int    `json:"version"`
+	Replica  string `json:"replica"`
+	Platform string `json:"platform"`
+	// Degraded reports whether the predicting replica serves above its
+	// base perforation level — remote routers fold it into health.
+	Degraded bool `json:"degraded"`
+	serve.Prediction
+}
+
+// predictor is the optional replica capability behind Fleet.Predict:
+// local nodes answer from their servers, HTTP replicas from their cached
+// wire payloads.
+type predictor interface {
+	Predict(model string, batch int) (ModelPrediction, bool)
+}
+
+// Predict exports the node's current Eq 12 serving prediction for a
+// model (false when the model cannot be served here).
+func (n *Node) Predict(model string, batch int) (ModelPrediction, bool) {
+	srv, ver, err := n.Server(model)
+	if err != nil {
+		return ModelPrediction{}, false
+	}
+	p := srv.Predict(batch)
+	return ModelPrediction{
+		Model:      model,
+		Version:    ver,
+		Replica:    n.id,
+		Platform:   n.platform,
+		Degraded:   p.Level > p.BaseLevel,
+		Prediction: p,
+	}, true
+}
+
+// betterPrediction orders candidate predictions: a known (positive)
+// PredictMS always beats an unknown one, then smaller is better.
+func betterPrediction(a, b ModelPrediction) bool {
+	switch {
+	case a.PredictMS > 0 && b.PredictMS <= 0:
+		return true
+	case a.PredictMS <= 0 && b.PredictMS > 0:
+		return false
+	}
+	return a.PredictMS < b.PredictMS
+}
+
+// Predict assembles the fleet's serving prediction for a model: the best
+// active replica's Eq 12 numbers with capacity and queue depth summed
+// across the active set. batch > 0 additionally prices one batch of that
+// size on the best replica.
+func (f *Fleet) Predict(model string, batch int) (ModelPrediction, error) {
+	dep := f.reg.Current(model)
+	if dep == nil {
+		return ModelPrediction{}, fmt.Errorf("fleet: model %q not in registry", model)
+	}
+	f.mu.Lock()
+	act := f.activeLocked()
+	f.mu.Unlock()
+	preds := make([]ModelPrediction, 0, len(act))
+	for _, r := range act {
+		if pr, ok := r.(predictor); ok {
+			if p, served := pr.Predict(model, batch); served {
+				preds = append(preds, p)
+			}
+			continue
+		}
+		// Interface-only replicas still contribute what the Replica
+		// contract exposes.
+		preds = append(preds, ModelPrediction{
+			Model:    model,
+			Replica:  r.ID(),
+			Platform: r.Platform(),
+			Prediction: serve.Prediction{
+				PredictMS:   r.PredictCompletionMS(model),
+				CapacityRPS: r.CapacityRPS(model),
+			},
+		})
+	}
+	if len(preds) == 0 {
+		return ModelPrediction{}, fmt.Errorf("fleet: no replica can serve %s", model)
+	}
+	best := 0
+	var capacity float64
+	depth := 0
+	for i, p := range preds {
+		capacity += p.CapacityRPS
+		depth += p.QueueDepth
+		if i > 0 && betterPrediction(p, preds[best]) {
+			best = i
+		}
+	}
+	out := preds[best]
+	if out.Version == 0 {
+		out.Version = dep.Version
+	}
+	out.CapacityRPS = capacity
+	out.QueueDepth = depth
+	return out, nil
+}
+
+// PredictAll returns one prediction per registered model, sorted by
+// model name. Models no active replica can serve are skipped.
+func (f *Fleet) PredictAll(batch int) []ModelPrediction {
+	models := f.reg.Models()
+	out := make([]ModelPrediction, 0, len(models))
+	for _, m := range models {
+		if p, err := f.Predict(m, batch); err == nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ModelStats gathers each replica's serving snapshot for a model, keyed
+// by replica ID. Replicas that never served the model (or cannot report)
+// are absent.
+func (f *Fleet) ModelStats(model string) map[string]serve.Snapshot {
+	f.mu.Lock()
+	replicas := append([]Replica(nil), f.replicas...)
+	f.mu.Unlock()
+	out := map[string]serve.Snapshot{}
+	for _, r := range replicas {
+		if st, ok := r.Stats(model); ok {
+			out[r.ID()] = st
+		}
+	}
+	return out
+}
+
+// DeclareBusy declares a busy horizon of d from now on every local
+// node's server for a model — the operational hook behind POST /busy
+// that lets tests and co-running workloads mark a daemon occupied.
+// Returns how many servers accepted the horizon.
+func (f *Fleet) DeclareBusy(model string, d time.Duration) int {
+	f.mu.Lock()
+	replicas := append([]Replica(nil), f.replicas...)
+	until := f.cfg.Clock().Add(d)
+	f.mu.Unlock()
+	n := 0
+	for _, r := range replicas {
+		node, ok := r.(*Node)
+		if !ok {
+			continue
+		}
+		srv, _, err := node.Server(model)
+		if err != nil {
+			continue
+		}
+		srv.SetBusyUntil(until)
+		n++
+	}
+	return n
+}
+
+// emitJSON writes an indented JSON body.
+func emitJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Handler wires the fleet HTTP API — the full daemon surface cmd/pcnnd
+// serves and the e2e harness drives:
+//
+//	POST /infer?model=&client=  route one request, body is the result
+//	GET  /predict?model=&batch= Eq 12 prediction (all models without model=)
+//	GET  /stats?model=          per-replica serve snapshots
+//	GET  /fleet                 membership, health, routing counters
+//	GET  /healthz               aggregate health (503 when no healthy replica)
+//	GET  /metrics               merged Prometheus exposition
+//	POST /swap?model=&dvfs=     recompile + hot-swap the model's deployment
+//	POST /busy?model=&ms=       declare a busy horizon on local servers
+func Handler(fl *Fleet) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/infer", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		model := r.URL.Query().Get("model")
+		if model == "" {
+			model = "AlexNet"
+		}
+		client := r.URL.Query().Get("client")
+		if fl.Registry().Current(model) == nil {
+			http.Error(w, fmt.Sprintf("unknown model %q", model), http.StatusBadRequest)
+			return
+		}
+		ff, err := fl.Submit(model, client)
+		switch {
+		case errors.Is(err, serve.ErrQueueFull), errors.Is(err, serve.ErrDeadlineUnmeetable):
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+			return
+		case errors.Is(err, ErrNoReplicas):
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		res, replica, err := ff.Wait(r.Context())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("X-Pcnn-Replica", replica)
+		emitJSON(w, res)
+	})
+	mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) {
+		batch := 0
+		if b := r.URL.Query().Get("batch"); b != "" {
+			n, err := strconv.Atoi(b)
+			if err != nil || n < 0 {
+				http.Error(w, fmt.Sprintf("bad batch %q", b), http.StatusBadRequest)
+				return
+			}
+			batch = n
+		}
+		model := r.URL.Query().Get("model")
+		if model == "" {
+			emitJSON(w, fl.PredictAll(batch))
+			return
+		}
+		p, err := fl.Predict(model, batch)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		emitJSON(w, p)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		model := r.URL.Query().Get("model")
+		if model != "" {
+			emitJSON(w, fl.ModelStats(model))
+			return
+		}
+		all := map[string]map[string]serve.Snapshot{}
+		for _, m := range fl.Registry().Models() {
+			if st := fl.ModelStats(m); len(st) > 0 {
+				all[m] = st
+			}
+		}
+		emitJSON(w, all)
+	})
+	mux.HandleFunc("/fleet", func(w http.ResponseWriter, _ *http.Request) {
+		emitJSON(w, fl.Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		snap := fl.Snapshot()
+		healthy := 0
+		for _, r := range snap.Replicas {
+			if r.Healthy && !r.Ejected {
+				healthy++
+			}
+		}
+		if healthy == 0 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		emitJSON(w, struct {
+			Healthy int `json:"healthy_replicas"`
+			Total   int `json:"total_replicas"`
+		}{healthy, len(snap.Replicas)})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", prometheusContentType)
+		_ = fl.WriteMetrics(w)
+	})
+	mux.HandleFunc("/swap", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		model := r.URL.Query().Get("model")
+		cur := fl.Registry().Current(model)
+		if cur == nil {
+			http.Error(w, fmt.Sprintf("unknown model %q", model), http.StatusBadRequest)
+			return
+		}
+		dvfs := r.URL.Query().Get("dvfs") == "1"
+		d, err := CompileDeployment(model, cur.Task, fl.Platforms(), dvfs)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if _, err := fl.Swap(d); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		// Old versions drain in the background: routing already resolves
+		// to the new deployment, retired servers finish in-flight work.
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			_, _ = fl.DrainRetired(ctx)
+		}()
+		emitJSON(w, struct {
+			Model   string `json:"model"`
+			Version int    `json:"version"`
+		}{model, fl.Registry().Current(model).Version})
+	})
+	mux.HandleFunc("/busy", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		model := r.URL.Query().Get("model")
+		if fl.Registry().Current(model) == nil {
+			http.Error(w, fmt.Sprintf("unknown model %q", model), http.StatusBadRequest)
+			return
+		}
+		ms, err := strconv.ParseFloat(r.URL.Query().Get("ms"), 64)
+		if err != nil || ms < 0 {
+			http.Error(w, fmt.Sprintf("bad ms %q", r.URL.Query().Get("ms")), http.StatusBadRequest)
+			return
+		}
+		n := fl.DeclareBusy(model, time.Duration(ms*float64(time.Millisecond)))
+		emitJSON(w, struct {
+			Model   string  `json:"model"`
+			BusyMS  float64 `json:"busy_ms"`
+			Servers int     `json:"servers"`
+		}{model, ms, n})
+	})
+	return mux
+}
+
+// Platforms returns the distinct platform names across the fleet's
+// replicas, in registration order.
+func (f *Fleet) Platforms() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range f.replicas {
+		if p := r.Platform(); !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// mergeReplicaMetrics folds an extra registry into the fleet exposition;
+// WriteMetrics calls it for replicas that export their own metric
+// families (HTTP replicas' wire/staleness counters).
+func mergeReplicaMetrics(exp *obs.Exposition, r Replica) {
+	type metricsSource interface{ Metrics() *obs.Registry }
+	src, ok := r.(metricsSource)
+	if !ok || src.Metrics() == nil {
+		return
+	}
+	exp.Add(src.Metrics(),
+		obs.Label{Key: "replica", Value: r.ID()},
+		obs.Label{Key: "platform", Value: r.Platform()})
+}

@@ -1,0 +1,222 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pcnn/internal/satisfaction"
+	"pcnn/internal/serve"
+)
+
+// TestPredictGoldenWireFormat pins the exact /predict payload bytes: the
+// remote-prediction protocol HTTPReplica parses. A change here is a wire
+// format change and must version the protocol, not silently reshape it.
+func TestPredictGoldenWireFormat(t *testing.T) {
+	clk := newTclock()
+	execs := []*stormExec{{predMS: 2}}
+	fl, _ := testFleet(t, "m", satisfaction.ImageTagging(), execs,
+		func(i int) NodeConfig {
+			return NodeConfig{Serve: serve.Config{
+				Workers: 1, ManualFlush: true, Clock: clk.Now,
+			}}
+		}, Config{Clock: clk.Now})
+	defer fl.Close(context.Background())
+	ts := httptest.NewServer(Handler(fl))
+	defer ts.Close()
+
+	// Two queued requests and a declared 250 ms busy horizon: every
+	// prediction field is now non-trivial and fully deterministic.
+	for i := 0; i < 2; i++ {
+		if _, err := fl.Submit("m", "client-1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/busy?model=m&ms=250", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /busy answered %s", resp.Status)
+	}
+
+	resp, err = http.Get(ts.URL + "/predict?model=m&batch=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := `{
+  "model": "m",
+  "version": 1,
+  "replica": "n0",
+  "platform": "pf0",
+  "degraded": false,
+  "predict_ms": 256,
+  "batch_ms": 6,
+  "capacity_rps": 500,
+  "level": 0,
+  "base_level": 0,
+  "queue_depth": 2,
+  "busy_ms": 250,
+  "max_batch": 4
+}
+`
+	if string(body) != golden {
+		t.Errorf("golden /predict payload changed:\n got: %s\nwant: %s", body, golden)
+	}
+}
+
+// TestPredictAggregatesAcrossReplicas pins the fleet-level view: the
+// best replica supplies the prediction, capacity and queue depth sum
+// over the active set, and /predict without model= lists every model.
+func TestPredictAggregatesAcrossReplicas(t *testing.T) {
+	clk := newTclock()
+	execs := []*stormExec{{predMS: 5}, {predMS: 1}}
+	fl, nodes := testFleet(t, "m", satisfaction.ImageTagging(), execs,
+		func(i int) NodeConfig {
+			return NodeConfig{Serve: serve.Config{
+				Workers: 1, ManualFlush: true, Clock: clk.Now,
+			}}
+		}, Config{Clock: clk.Now})
+	defer fl.Close(context.Background())
+
+	p, err := fl.Predict("m", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n1 (1 ms/image) predicts faster than n0 (5 ms/image).
+	if p.Replica != "n1" || p.Platform != "pf1" {
+		t.Errorf("best replica = %s/%s, want n1/pf1", p.Replica, p.Platform)
+	}
+	var wantCap float64
+	for _, n := range nodes {
+		wantCap += n.CapacityRPS("m")
+	}
+	if p.CapacityRPS != wantCap {
+		t.Errorf("CapacityRPS = %.3f, want summed %.3f", p.CapacityRPS, wantCap)
+	}
+
+	// Queue depth sums over replicas: park two requests on slow n0.
+	if _, err := nodes[0].Submit("m"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nodes[0].Submit("m"); err != nil {
+		t.Fatal(err)
+	}
+	p, err = fl.Predict("m", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.QueueDepth != 2 {
+		t.Errorf("QueueDepth = %d, want 2", p.QueueDepth)
+	}
+	if p.Replica != "n1" {
+		t.Errorf("best replica moved to %s", p.Replica)
+	}
+
+	if _, err := fl.Predict("ghost", 0); err == nil {
+		t.Error("Predict of unregistered model should fail")
+	}
+	if all := fl.PredictAll(0); len(all) != 1 || all[0].Model != "m" {
+		t.Errorf("PredictAll = %+v, want one row for m", all)
+	}
+}
+
+// TestStatsAndBusyEndpoints covers the /stats map shape and /busy
+// validation.
+func TestStatsAndBusyEndpoints(t *testing.T) {
+	clk := newTclock()
+	execs := []*stormExec{{predMS: 2}}
+	fl, nodes := testFleet(t, "m", satisfaction.ImageTagging(), execs,
+		func(i int) NodeConfig {
+			return NodeConfig{Serve: serve.Config{
+				Workers: 1, ManualFlush: true, Clock: clk.Now,
+			}}
+		}, Config{Clock: clk.Now})
+	defer fl.Close(context.Background())
+	ts := httptest.NewServer(Handler(fl))
+	defer ts.Close()
+
+	// Build the server so stats exist, and queue one request.
+	if _, err := nodes[0].Submit("m"); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/stats?model=m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var byReplica map[string]serve.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&byReplica); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st, ok := byReplica["n0"]; !ok || st.Submitted != 1 || st.QueueDepth != 1 {
+		t.Errorf("/stats?model=m = %+v, want n0 with 1 queued", byReplica)
+	}
+
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all map[string]map[string]serve.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&all); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if _, ok := all["m"]["n0"]; !ok {
+		t.Errorf("/stats = %+v, want m/n0 entry", all)
+	}
+
+	for _, bad := range []string{
+		"/busy?model=m",          // missing ms
+		"/busy?model=m&ms=-1",    // negative
+		"/busy?model=ghost&ms=5", // unknown model
+	} {
+		resp, err := http.Post(ts.URL+bad, "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s answered %s, want 400", bad, resp.Status)
+		}
+	}
+	resp, err = http.Get(ts.URL + "/busy?model=m&ms=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /busy answered %s, want 405", resp.Status)
+	}
+
+	resp, err = http.Post(ts.URL+"/busy?model=m&ms=75", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"servers": 1`) {
+		t.Errorf("POST /busy = %s, want one server marked", body)
+	}
+	srv, _, err := nodes[0].Server("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Predict(0).BusyMS; got != 75 {
+		t.Errorf("busy horizon = %.3f ms, want 75", got)
+	}
+}

@@ -9,8 +9,10 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"pcnn/internal/fault"
+	"pcnn/internal/obs"
 	"pcnn/internal/serve"
 )
 
@@ -147,7 +149,7 @@ func (n *Node) Server(model string) (*serve.Server, int, error) {
 		return ms.srv, ms.version, nil
 	}
 	cfg := n.cfg.Serve
-	cfg.Seed = int64(hash64(n.id + "|" + model + "|v" + strconv.Itoa(d.Version) + "|" + strconv.FormatInt(cfg.Seed, 10)) % (1 << 31))
+	cfg.Seed = int64(hash64(n.id+"|"+model+"|v"+strconv.Itoa(d.Version)+"|"+strconv.FormatInt(cfg.Seed, 10)) % (1 << 31))
 	cfg.Faults = n.cfg.Faults
 	srv, err := serve.NewServer(ex, d.Task, cfg)
 	if err != nil {
@@ -295,26 +297,207 @@ func (n *Node) Close(ctx context.Context) error {
 }
 
 // HTTPReplica routes to an out-of-process pcnnd daemon over its /infer
-// endpoint. Remote replicas cannot read Eq 12 predictions across the
-// wire, so they carry a statically configured ring weight, never trigger
-// prediction-based hedging as the primary, and report health from GET
-// /healthz.
+// endpoint. Eq 12 predictions cross the wire through the daemon's GET
+// /predict payload, cached with bounded staleness and refreshed
+// single-flight, so remote replicas participate in least-slack ordering,
+// hedging and capacity-weighted ring placement exactly like in-process
+// nodes. A replica whose cache is stale and unrefreshable predicts 0
+// ("unknown"), which sorts it behind every replica with a live
+// prediction (see Fleet.Submit).
 type HTTPReplica struct {
 	id       string
 	platform string
 	baseURL  string
 	weight   float64
 	client   *http.Client
+	cfg      HTTPReplicaConfig
+
+	mu    sync.Mutex
+	cache map[string]*predEntry // model → cached /predict payload
+
+	wireMS *obs.EWMA // EWMA round-trip of /predict polls
+	obsReg *obs.Registry
+	// wire/staleness counters, exported via Metrics.
+	refreshes   uint64
+	refreshErrs uint64
+	staleReads  uint64
+}
+
+// predEntry is one model's cached remote prediction plus the
+// single-flight refresh gate.
+type predEntry struct {
+	pred ModelPrediction
+	at   time.Time
+	ok   bool          // pred is a decoded payload, not a zero placeholder
+	busy chan struct{} // non-nil while a refresh is in flight; closed when done
+}
+
+// HTTPReplicaConfig tunes a remote replica.
+type HTTPReplicaConfig struct {
+	// Weight is the static fallback ring weight in requests/second, used
+	// until (or unless) live capacity arrives over the wire. 0 = mean.
+	Weight float64
+	// FreshnessMS bounds prediction staleness: cached payloads older than
+	// this are refreshed before use, and unrefreshable ones read as
+	// unknown (0). 0 means 250.
+	FreshnessMS float64
+	// Client is the HTTP client; nil uses http.DefaultClient.
+	Client *http.Client
+	// Clock injects the staleness time source; nil means time.Now.
+	// Virtual-clock tests inject the clock they advance.
+	Clock func() time.Time
+}
+
+func (c HTTPReplicaConfig) withDefaults() HTTPReplicaConfig {
+	if c.FreshnessMS <= 0 {
+		c.FreshnessMS = 250
+	}
+	if c.Client == nil {
+		c.Client = http.DefaultClient
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
 }
 
 // NewHTTPReplica points a replica identity at a daemon's base URL (e.g.
 // "http://10.0.0.7:8080"). weight is the static ring weight in requests/
 // second (0 = mean). client nil uses http.DefaultClient.
 func NewHTTPReplica(id, platform, baseURL string, weight float64, client *http.Client) *HTTPReplica {
-	if client == nil {
-		client = http.DefaultClient
+	return NewHTTPReplicaConfig(id, platform, baseURL, HTTPReplicaConfig{Weight: weight, Client: client})
+}
+
+// NewHTTPReplicaConfig is NewHTTPReplica with the full configuration
+// surface (staleness bound, injected clock).
+func NewHTTPReplicaConfig(id, platform, baseURL string, cfg HTTPReplicaConfig) *HTTPReplica {
+	cfg = cfg.withDefaults()
+	h := &HTTPReplica{
+		id:       id,
+		platform: platform,
+		baseURL:  baseURL,
+		weight:   cfg.Weight,
+		client:   cfg.Client,
+		cfg:      cfg,
+		cache:    map[string]*predEntry{},
+		wireMS:   obs.NewEWMA(0.2),
+		obsReg:   obs.NewRegistry(),
 	}
-	return &HTTPReplica{id: id, platform: platform, baseURL: baseURL, weight: weight, client: client}
+	h.registerMetrics()
+	return h
+}
+
+// registerMetrics exports the wire-latency and staleness counters merged
+// into the fleet exposition under replica/platform labels.
+func (h *HTTPReplica) registerMetrics() {
+	h.obsReg.GaugeFunc("pcnn_fleet_wire_latency_ms",
+		"EWMA round-trip latency of /predict polls to the remote daemon.",
+		h.wireMS.Value)
+	read := func(get func(*HTTPReplica) uint64) func() float64 {
+		return func() float64 {
+			h.mu.Lock()
+			defer h.mu.Unlock()
+			return float64(get(h))
+		}
+	}
+	h.obsReg.CounterFunc("pcnn_fleet_predict_refreshes_total",
+		"Remote prediction cache refreshes attempted.",
+		read(func(h *HTTPReplica) uint64 { return h.refreshes }))
+	h.obsReg.CounterFunc("pcnn_fleet_predict_refresh_failures_total",
+		"Remote prediction refreshes that failed (network or decode).",
+		read(func(h *HTTPReplica) uint64 { return h.refreshErrs }))
+	h.obsReg.CounterFunc("pcnn_fleet_predict_stale_total",
+		"Prediction reads answered as unknown because the cache was stale "+
+			"and unrefreshable.",
+		read(func(h *HTTPReplica) uint64 { return h.staleReads }))
+}
+
+// Metrics returns the replica's wire/staleness metric registry;
+// Fleet.WriteMetrics merges it under replica labels.
+func (h *HTTPReplica) Metrics() *obs.Registry { return h.obsReg }
+
+// fetchPredict polls the daemon's /predict for one model and records the
+// wire round-trip.
+func (h *HTTPReplica) fetchPredict(model string) (ModelPrediction, error) {
+	start := time.Now()
+	resp, err := h.client.Get(h.baseURL + "/predict?model=" + model)
+	if err != nil {
+		return ModelPrediction{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ModelPrediction{}, fmt.Errorf("fleet: %s /predict answered %s", h.id, resp.Status)
+	}
+	var p ModelPrediction
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		return ModelPrediction{}, err
+	}
+	h.wireMS.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	return p, nil
+}
+
+// predict returns the model's cached prediction, refreshing when older
+// than the freshness bound. Refreshes are single-flight: one caller
+// polls, concurrent callers wait for it. When the refresh fails the
+// entry keeps its timestamp (no retry storm inside the freshness window)
+// and ok=false marks the prediction unknown.
+func (h *HTTPReplica) predict(model string) (ModelPrediction, bool) {
+	freshness := time.Duration(h.cfg.FreshnessMS * float64(time.Millisecond))
+	for {
+		h.mu.Lock()
+		e := h.cache[model]
+		if e == nil {
+			e = &predEntry{}
+			h.cache[model] = e
+		}
+		now := h.cfg.Clock()
+		fresh := !e.at.IsZero() && now.Sub(e.at) < freshness
+		if fresh {
+			p, ok := e.pred, e.ok
+			if !ok {
+				h.staleReads++
+			}
+			h.mu.Unlock()
+			return p, ok
+		}
+		if e.busy != nil {
+			// A refresh is in flight; wait for it and re-read.
+			wait := e.busy
+			h.mu.Unlock()
+			<-wait
+			continue
+		}
+		done := make(chan struct{})
+		e.busy = done
+		h.refreshes++
+		h.mu.Unlock()
+
+		p, err := h.fetchPredict(model)
+
+		h.mu.Lock()
+		e.at = h.cfg.Clock()
+		e.busy = nil
+		if err != nil {
+			h.refreshErrs++
+			e.ok = false
+			e.pred = ModelPrediction{}
+			h.staleReads++
+		} else {
+			e.ok = true
+			e.pred = p
+		}
+		ok := e.ok
+		h.mu.Unlock()
+		close(done)
+		return p, ok
+	}
+}
+
+// Predict returns the replica's live remote prediction for a model
+// (false when stale and unrefreshable) — the same capability local nodes
+// expose, so Fleet.Predict aggregates both kinds.
+func (h *HTTPReplica) Predict(model string, _ int) (ModelPrediction, bool) {
+	return h.predict(model)
 }
 
 // ID returns the replica's routing identity.
@@ -364,33 +547,124 @@ func (h *HTTPReplica) Submit(model string) (*Ticket, error) {
 	}, nil
 }
 
-// PredictCompletionMS is 0 for remote replicas: predictions do not cross
-// the wire.
-func (h *HTTPReplica) PredictCompletionMS(string) float64 { return 0 }
+// PredictCompletionMS is the daemon's Eq 12 completion estimate read
+// over the wire, plus the observed wire round-trip the request itself
+// will pay. 0 when the cached prediction is stale and unrefreshable —
+// unknown, which Fleet.Submit orders behind every live prediction.
+func (h *HTTPReplica) PredictCompletionMS(model string) float64 {
+	p, ok := h.predict(model)
+	if !ok {
+		return 0
+	}
+	return p.PredictMS + h.wireMS.Value()
+}
 
-// CapacityRPS returns the statically configured ring weight.
-func (h *HTTPReplica) CapacityRPS(string) float64 { return h.weight }
+// CapacityRPS is the daemon's live aggregate capacity when predictions
+// flow, falling back to the statically configured ring weight.
+func (h *HTTPReplica) CapacityRPS(model string) float64 {
+	if p, ok := h.predict(model); ok && p.CapacityRPS > 0 {
+		return p.CapacityRPS
+	}
+	return h.weight
+}
 
-// Healthy polls the daemon's /healthz. Unreachable or breaker-open
-// daemons are unhealthy.
+// wireHealth decodes both /healthz shapes a replica may face: a fleet
+// daemon's {healthy_replicas, total_replicas} and a single-server
+// daemon's serve.Health.
+type wireHealth struct {
+	// Fleet daemon shape. Pointers distinguish "absent" from 0.
+	HealthyReplicas *int `json:"healthy_replicas"`
+	TotalReplicas   *int `json:"total_replicas"`
+	// Single-server daemon shape (serve.Health).
+	Status  string   `json:"status"`
+	Breaker string   `json:"breaker"`
+	Reasons []string `json:"reasons"`
+}
+
+// Healthy polls the daemon's /healthz. Reason strings distinguish the
+// failure class: "unreachable: ..." when the network or decode failed,
+// "degraded: ..." when the daemon itself reported trouble.
 func (h *HTTPReplica) Healthy() (bool, []string) {
 	resp, err := h.client.Get(h.baseURL + "/healthz")
 	if err != nil {
-		return false, []string{err.Error()}
+		return false, []string{"unreachable: " + err.Error()}
 	}
 	defer resp.Body.Close()
-	var hl serve.Health
+	var hl wireHealth
 	if err := json.NewDecoder(resp.Body).Decode(&hl); err != nil {
-		return false, []string{err.Error()}
+		return false, []string{"unreachable: " + err.Error()}
+	}
+	if hl.HealthyReplicas != nil {
+		if *hl.HealthyReplicas == 0 {
+			total := 0
+			if hl.TotalReplicas != nil {
+				total = *hl.TotalReplicas
+			}
+			return false, []string{fmt.Sprintf("degraded: daemon reports 0/%d healthy replicas", total)}
+		}
+		return true, nil
 	}
 	if hl.Status == "closed" || hl.Breaker == "open" {
-		return false, hl.Reasons
+		reasons := make([]string, 0, len(hl.Reasons)+1)
+		for _, r := range hl.Reasons {
+			reasons = append(reasons, "degraded: "+r)
+		}
+		if len(reasons) == 0 {
+			reasons = append(reasons, "degraded: "+hl.Status)
+		}
+		return false, reasons
 	}
 	return true, nil
 }
 
-// Stats is unavailable across the wire.
-func (h *HTTPReplica) Stats(string) (serve.Snapshot, bool) { return serve.Snapshot{}, false }
+// Stats fetches the daemon's per-replica serving snapshots for a model
+// over GET /stats and sums the countable fields into one remote view, so
+// fleet-of-fleets drivers can assert conservation across the wire.
+func (h *HTTPReplica) Stats(model string) (serve.Snapshot, bool) {
+	resp, err := h.client.Get(h.baseURL + "/stats?model=" + model)
+	if err != nil {
+		return serve.Snapshot{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return serve.Snapshot{}, false
+	}
+	var byReplica map[string]serve.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&byReplica); err != nil {
+		return serve.Snapshot{}, false
+	}
+	if len(byReplica) == 0 {
+		return serve.Snapshot{}, false
+	}
+	ids := make([]string, 0, len(byReplica))
+	for id := range byReplica {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	sum := byReplica[ids[0]]
+	for _, id := range ids[1:] {
+		st := byReplica[id]
+		sum.Submitted += st.Submitted
+		sum.Rejected += st.Rejected
+		sum.RejectedQueueFull += st.RejectedQueueFull
+		sum.RejectedUnmeetable += st.RejectedUnmeetable
+		sum.RejectedSaturated += st.RejectedSaturated
+		sum.Completed += st.Completed
+		sum.Failed += st.Failed
+		sum.Batches += st.Batches
+		sum.DemotedBatches += st.DemotedBatches
+		sum.DeadlineMissed += st.DeadlineMissed
+		sum.Promotions += st.Promotions
+		sum.QueueDepth += st.QueueDepth
+		sum.Retries += st.Retries
+		sum.ExecTimeouts += st.ExecTimeouts
+	}
+	return sum, true
+}
 
-// Close is a no-op: the remote daemon owns its lifecycle.
-func (h *HTTPReplica) Close(context.Context) error { return nil }
+// Close releases the replica's idle HTTP connections. The remote daemon
+// owns its own lifecycle.
+func (h *HTTPReplica) Close(context.Context) error {
+	h.client.CloseIdleConnections()
+	return nil
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
 	"time"
 
 	"pcnn/internal/satisfaction"
@@ -12,12 +11,18 @@ import (
 	"pcnn/internal/workload"
 )
 
-// SoakSchema versions BENCH_fleet.json; bump on any layout change.
-const SoakSchema = "pcnn-bench-fleet/v1"
+// SoakSchema versions BENCH_fleet.json; bump on any layout change. v2:
+// streamed chunk aggregation (log-bucketed percentiles, peak_pending and
+// chunks fields) replacing v1's retained per-request samples.
+const SoakSchema = "pcnn-bench-fleet/v2"
 
-// soakTimeout bounds one grid row's wall-clock run; virtual-time serving
+// soakTimeoutFor bounds one grid row's wall-clock run: a base for
+// compilation and small rows plus a per-request allowance so
+// million-request rows get proportionate headroom. Virtual-time serving
 // resolves in microseconds per batch, so hitting it means a deadlock.
-const soakTimeout = 5 * time.Minute
+func soakTimeoutFor(requests int) time.Duration {
+	return 5*time.Minute + time.Duration(requests)*500*time.Microsecond
+}
 
 // soakEpoch anchors the virtual clock; a fixed origin keeps the committed
 // benchmark byte-reproducible.
@@ -70,6 +75,12 @@ type SoakSpec struct {
 	LingerMS float64 `json:"linger_ms"`
 	// QueueCap bounds each server's admission queue. 0 means 512.
 	QueueCap int `json:"queue_cap"`
+	// ChunkRequests sizes the streamed-aggregation chunk: resolved
+	// requests fold into a fixed-size chunk aggregate that merges into
+	// the row aggregate every ChunkRequests resolutions. Chunk merging is
+	// exact (integer histograms), so the value never changes results —
+	// only how often the chunk resets. 0 means 8192.
+	ChunkRequests int `json:"chunk_requests"`
 }
 
 func (s SoakSpec) withDefaults() SoakSpec {
@@ -102,6 +113,9 @@ func (s SoakSpec) withDefaults() SoakSpec {
 	}
 	if s.QueueCap <= 0 {
 		s.QueueCap = 512
+	}
+	if s.ChunkRequests <= 0 {
+		s.ChunkRequests = 8192
 	}
 	return s
 }
@@ -159,13 +173,20 @@ type SoakRow struct {
 	P95MS    float64 `json:"p95_ms"`
 	P99MS    float64 `json:"p99_ms"`
 
+	// Chunks is how many chunk merges the streamed aggregation performed;
+	// PeakPending is the most unresolved routed requests the driver held
+	// at once — the flat-memory evidence (bounded by queue caps, not by
+	// the trace length).
+	Chunks      int `json:"chunks"`
+	PeakPending int `json:"peak_pending"`
+
 	Models []SoakModelRow `json:"models"`
 }
 
 // SoakReport is the committed BENCH_fleet.json document.
 type SoakReport struct {
-	Schema string   `json:"schema"`
-	Spec   SoakSpec `json:"spec"`
+	Schema string    `json:"schema"`
+	Spec   SoakSpec  `json:"spec"`
 	Rows   []SoakRow `json:"rows"`
 }
 
@@ -226,8 +247,25 @@ func RunSoak(spec SoakSpec) (SoakReport, error) {
 		offered[i] = spec.Load * cap
 	}
 
-	// One merged open-loop schedule shared by every row: stream s is
-	// client (s % ClientsPerModel) of model (s / ClientsPerModel).
+	report := SoakReport{Schema: SoakSchema, Spec: spec}
+	for _, n := range spec.ReplicaCounts {
+		for _, hedge := range []bool{false, true} {
+			row, err := runSoakRow(spec, models, exV1, exV2, offered, n, hedge)
+			if err != nil {
+				return SoakReport{}, fmt.Errorf("fleet soak n=%d hedge=%v: %w", n, hedge, err)
+			}
+			report.Rows = append(report.Rows, row)
+		}
+	}
+	return report, nil
+}
+
+// soakStreams builds one row's freshly seeded arrival processes: stream
+// s is client (s % ClientsPerModel) of model (s / ClientsPerModel).
+// Every row draws the identical trace because the seeds are fixed; the
+// processes are consumed lazily by ScheduleStream so the trace is never
+// materialized.
+func soakStreams(spec SoakSpec, models []soakModel, offered []float64) ([]workload.Arrivals, []int) {
 	var arrs []workload.Arrivals
 	var counts []int
 	for i, m := range models {
@@ -244,19 +282,7 @@ func RunSoak(spec SoakSpec) (SoakReport, error) {
 			counts = append(counts, n)
 		}
 	}
-	events := workload.BuildSchedule(arrs, counts)
-
-	report := SoakReport{Schema: SoakSchema, Spec: spec}
-	for _, n := range spec.ReplicaCounts {
-		for _, hedge := range []bool{false, true} {
-			row, err := runSoakRow(spec, models, exV1, exV2, events, offered, n, hedge)
-			if err != nil {
-				return SoakReport{}, fmt.Errorf("fleet soak n=%d hedge=%v: %w", n, hedge, err)
-			}
-			report.Rows = append(report.Rows, row)
-		}
-	}
-	return report, nil
+	return arrs, counts
 }
 
 // srvSoak is the driver's view of one serve.Server: the open batch
@@ -275,18 +301,22 @@ type srvSoak struct {
 	batches     uint64
 }
 
-// soakReq tracks one routed arrival to resolution.
-type soakReq struct {
+// pendingReq tracks one routed arrival until its last leg's batch
+// flushes — then it resolves immediately and folds into the chunk
+// aggregate, so the driver never retains resolved requests.
+type pendingReq struct {
 	ff    *FleetFuture
 	model int
+	legs  int // legs not yet flushed
 }
 
 // runSoakRow serves the shared schedule on one fleet configuration.
 func runSoakRow(spec SoakSpec, models []soakModel, exV1 []map[string]serve.Executor,
-	exV2 map[string]serve.Executor, events []workload.Event, offered []float64,
+	exV2 map[string]serve.Executor, offered []float64,
 	n int, hedge bool) (SoakRow, error) {
 
-	ctx, cancel := context.WithTimeout(context.Background(), soakTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(),
+		soakTimeoutFor(spec.RequestsPerModel*len(models)))
 	defer cancel()
 
 	clk := workload.NewVirtualClock(soakEpoch())
@@ -343,9 +373,35 @@ func runSoakRow(spec SoakSpec, models []soakModel, exV1 []map[string]serve.Execu
 		return exV1[modelIdx[model]][platform]
 	}
 
+	sched := workload.NewScheduleStream(soakStreams(spec, models, offered))
+	total := sched.Total()
+
 	states := map[*serve.Server]*srvSoak{}
 	var order []*srvSoak
-	var reqs []soakReq
+
+	// Streamed aggregation state: every resolved request folds into the
+	// chunk, chunks merge into the row aggregate. owners maps each
+	// in-flight leg to its request; its size — bounded by queue caps ×
+	// replicas, not the trace — is the flat-memory invariant PeakPending
+	// records.
+	rowAgg := newSoakAgg(len(models))
+	chunk := newSoakAgg(len(models))
+	owners := map[*Ticket]*pendingReq{}
+	outstanding := 0
+
+	resolve := func(pr *pendingReq) {
+		outstanding--
+		res, _, err := pr.ff.Wait(ctx)
+		if err != nil {
+			chunk.observeFailed(pr.model)
+		} else {
+			chunk.observeServed(pr.model, res.ResponseMS, res.DeadlineMet)
+		}
+		if chunk.resolved >= spec.ChunkRequests {
+			rowAgg.merge(chunk)
+			row.Chunks++
+		}
+	}
 
 	flush := func(st *srvSoak) error {
 		execStart := st.windowClose
@@ -384,25 +440,40 @@ func runSoakRow(spec SoakSpec, models []soakModel, exV1 []map[string]serve.Execu
 		// eagerly in wall-clock terms, so without this the backlog would be
 		// invisible to admission rejection and hedging predictions.
 		st.srv.SetBusyUntil(st.workerFree)
+		// Requests whose last leg just flushed resolve now and fold into
+		// the chunk aggregate.
+		for _, leg := range st.pending {
+			pr := owners[leg]
+			if pr == nil {
+				continue
+			}
+			delete(owners, leg)
+			pr.legs--
+			if pr.legs == 0 {
+				resolve(pr)
+			}
+		}
 		st.pending = nil
 		return nil
 	}
 
 	swapIdx := -1
 	if spec.SwapAtFrac >= 0 {
-		swapIdx = int(spec.SwapAtFrac * float64(len(events)))
+		swapIdx = int(spec.SwapAtFrac * float64(total))
 	}
 	swapped := false
 	i := 0
-	for i < len(events) || anyPending(order) {
+	var lastAt time.Duration
+	next, hasNext := sched.Next()
+	for hasNext || anyPending(order) {
 		var due *srvSoak
 		for _, st := range order {
 			if len(st.pending) > 0 && (due == nil || st.windowClose.Before(due.windowClose)) {
 				due = st
 			}
 		}
-		if i < len(events) {
-			t := soakEpoch().Add(events[i].At)
+		if hasNext {
+			t := soakEpoch().Add(next.At)
 			if due == nil || !t.After(due.windowClose) {
 				if !swapped && swapIdx >= 0 && i >= swapIdx {
 					// Hot-swap AlexNet's v2 (DVFS-scaled) deployment in
@@ -418,15 +489,24 @@ func runSoakRow(spec SoakSpec, models []soakModel, exV1 []map[string]serve.Execu
 					}
 				}
 				clk.Set(t)
-				mIdx := events[i].Stream / spec.ClientsPerModel
-				client := fmt.Sprintf("client-%d", events[i].Stream%spec.ClientsPerModel)
+				mIdx := next.Stream / spec.ClientsPerModel
+				client := fmt.Sprintf("client-%d", next.Stream%spec.ClientsPerModel)
+				lastAt = next.At
 				i++
+				next, hasNext = sched.Next()
 				ff, err := fl.Submit(models[mIdx].name, client)
 				if err != nil {
 					row.Shed++
 					continue
 				}
-				reqs = append(reqs, soakReq{ff: ff, model: mIdx})
+				pr := &pendingReq{ff: ff, model: mIdx, legs: len(ff.Legs())}
+				outstanding++
+				if outstanding > row.PeakPending {
+					row.PeakPending = outstanding
+				}
+				for _, leg := range ff.Legs() {
+					owners[leg] = pr
+				}
 				for _, leg := range ff.Legs() {
 					srv := leg.Server()
 					st := states[srv]
@@ -490,31 +570,22 @@ func runSoakRow(spec SoakSpec, models []soakModel, exV1 []map[string]serve.Execu
 		}
 	}
 
-	// Resolve every routed request to its winning leg.
-	perModel := make([][]float64, len(models))
-	perModelMiss := make([]int, len(models))
-	perModelReqs := make([]int, len(models))
-	var lats []float64
-	missed := 0
-	for _, rq := range reqs {
-		perModelReqs[rq.model]++
-		res, _, err := rq.ff.Wait(ctx)
-		if err != nil {
-			row.FailedRequests++
-			continue
-		}
-		row.Served++
-		lats = append(lats, res.ResponseMS)
-		perModel[rq.model] = append(perModel[rq.model], res.ResponseMS)
-		if !res.DeadlineMet {
-			missed++
-			perModelMiss[rq.model]++
-		}
+	// Every window flushed, so every routed request has resolved into the
+	// chunk; merge the final partial chunk and read the row aggregate.
+	if len(owners) != 0 || outstanding != 0 {
+		return SoakRow{}, fmt.Errorf("driver leaked %d legs / %d requests unresolved",
+			len(owners), outstanding)
 	}
-	row.Requests = len(events)
+	if chunk.resolved > 0 {
+		rowAgg.merge(chunk)
+		row.Chunks++
+	}
+	row.Requests = total
+	row.Served = rowAgg.served
+	row.FailedRequests = rowAgg.failed
 
 	// Fleet-wide serve totals over every server that took traffic.
-	makespan := soakEpoch().Add(events[len(events)-1].At)
+	makespan := soakEpoch().Add(lastAt)
 	for _, st := range order {
 		snap := st.srv.Stats()
 		row.Submitted += snap.Submitted
@@ -542,9 +613,9 @@ func runSoakRow(spec SoakSpec, models []soakModel, exV1 []map[string]serve.Execu
 		row.ThroughputRPS = float64(row.Served) / (row.MakespanMS / 1000)
 	}
 	if row.Served > 0 {
-		row.MissRate = float64(missed) / float64(row.Served)
+		row.MissRate = float64(rowAgg.missed) / float64(row.Served)
 	}
-	row.P50MS, row.P95MS, row.P99MS = soakPercentiles(lats)
+	row.P50MS, row.P95MS, row.P99MS = rowAgg.hist.percentiles()
 
 	fsnap := fl.Snapshot()
 	row.Fallbacks = fsnap.Fallbacks
@@ -555,16 +626,17 @@ func runSoakRow(spec SoakSpec, models []soakModel, exV1 []map[string]serve.Execu
 	row.Swaps = fsnap.Swaps
 
 	for m := range models {
-		p50, _, p99 := soakPercentiles(perModel[m])
+		ma := &rowAgg.perModel[m]
+		p50, _, p99 := ma.hist.percentiles()
 		mr := SoakModelRow{
 			Model:    models[m].name,
-			Requests: perModelReqs[m],
-			Served:   len(perModel[m]),
+			Requests: ma.requests,
+			Served:   ma.served,
 			P50MS:    p50,
 			P99MS:    p99,
 		}
 		if mr.Served > 0 {
-			mr.MissRate = float64(perModelMiss[m]) / float64(mr.Served)
+			mr.MissRate = float64(ma.missed) / float64(mr.Served)
 		}
 		row.Models = append(row.Models, mr)
 	}
@@ -586,9 +658,11 @@ func anyPending(order []*srvSoak) bool {
 }
 
 // waitServeBatches spins (yielding) until the server's executed-batch
-// count reaches want, bounding the wait by ctx.
+// count reaches want, bounding the wait by ctx. BatchCount reads one
+// counter under the stats mutex — unlike Stats(), which sorts the whole
+// latency reservoir and made this poll quadratic at soak scale.
 func waitServeBatches(ctx context.Context, srv *serve.Server, want uint64) error {
-	for srv.Stats().Batches < want {
+	for srv.BatchCount() < want {
 		select {
 		case <-ctx.Done():
 			return fmt.Errorf("waiting for batch %d: %w", want, ctx.Err())
@@ -597,24 +671,4 @@ func waitServeBatches(ctx context.Context, srv *serve.Server, want uint64) error
 		}
 	}
 	return nil
-}
-
-// soakPercentiles returns the 50th/95th/99th percentiles of the sample.
-func soakPercentiles(sample []float64) (p50, p95, p99 float64) {
-	if len(sample) == 0 {
-		return 0, 0, 0
-	}
-	sorted := append([]float64(nil), sample...)
-	sort.Float64s(sorted)
-	at := func(p float64) float64 {
-		i := int(math.Ceil(p*float64(len(sorted)))) - 1
-		if i < 0 {
-			i = 0
-		}
-		if i >= len(sorted) {
-			i = len(sorted) - 1
-		}
-		return sorted[i]
-	}
-	return at(0.50), at(0.95), at(0.99)
 }

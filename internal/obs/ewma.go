@@ -1,0 +1,52 @@
+package obs
+
+import "sync"
+
+// EWMA is an exponentially weighted moving average with a fixed
+// smoothing factor. HTTPReplica uses one per endpoint to track wire
+// round-trip latency: a heavy smoothing bias toward history keeps a
+// single slow poll from swinging routing predictions. Safe for
+// concurrent use.
+type EWMA struct {
+	mu    sync.Mutex
+	alpha float64
+	value float64
+	n     uint64
+}
+
+// NewEWMA builds an average with the given smoothing factor in (0, 1];
+// out-of-range values are clamped. Larger alpha weights recent samples
+// more heavily.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.2
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds one sample in. The first sample seeds the average
+// directly so startup does not decay from zero.
+func (e *EWMA) Observe(v float64) {
+	e.mu.Lock()
+	if e.n == 0 {
+		e.value = v
+	} else {
+		e.value += e.alpha * (v - e.value)
+	}
+	e.n++
+	e.mu.Unlock()
+}
+
+// Value returns the current average, or 0 before any sample.
+func (e *EWMA) Value() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.value
+}
+
+// Count returns how many samples have been observed.
+func (e *EWMA) Count() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.n
+}

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestEWMASeedsAndSmooths(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Value() != 0 || e.Count() != 0 {
+		t.Fatalf("fresh EWMA = (%v, %d), want (0, 0)", e.Value(), e.Count())
+	}
+	e.Observe(10)
+	if e.Value() != 10 {
+		t.Errorf("first sample should seed directly: got %v", e.Value())
+	}
+	e.Observe(20)
+	if got := e.Value(); math.Abs(got-15) > 1e-12 {
+		t.Errorf("after 10,20 at alpha 0.5: got %v, want 15", got)
+	}
+	e.Observe(20)
+	if got := e.Value(); math.Abs(got-17.5) > 1e-12 {
+		t.Errorf("after third sample: got %v, want 17.5", got)
+	}
+	if e.Count() != 3 {
+		t.Errorf("Count = %d, want 3", e.Count())
+	}
+}
+
+func TestEWMAClampsAlpha(t *testing.T) {
+	for _, bad := range []float64{-1, 0, 1.5} {
+		e := NewEWMA(bad)
+		e.Observe(100)
+		e.Observe(0)
+		if got := e.Value(); math.Abs(got-80) > 1e-12 {
+			t.Errorf("alpha %v should clamp to 0.2: after 100,0 got %v, want 80", bad, got)
+		}
+	}
+}
+
+func TestEWMAConcurrent(t *testing.T) {
+	e := NewEWMA(0.1)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				e.Observe(5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := e.Value(); math.Abs(got-5) > 1e-9 {
+		t.Errorf("constant stream should converge to 5, got %v", got)
+	}
+	if e.Count() != 8000 {
+		t.Errorf("Count = %d, want 8000", e.Count())
+	}
+}

@@ -513,6 +513,52 @@ func (s *Server) PredictCompletionMS() float64 {
 	return s.predictQueueMS(s.ctrl.Level())
 }
 
+// Prediction is the serving-side prediction state one replica exports to
+// remote routers: the Eq 12 completion estimate and the queue/degradation
+// inputs it was derived from. It is the GET /predict wire payload, so a
+// fleet's HTTPReplica can participate in least-slack ordering, hedging
+// and unmeetable rejection exactly like an in-process node.
+type Prediction struct {
+	// PredictMS is the Eq 12 completion estimate for a request submitted
+	// now at the current degradation level — PredictCompletionMS.
+	PredictMS float64 `json:"predict_ms"`
+	// BatchMS is the Eq 12 execution estimate for the requested batch size
+	// at the current level (0 when no batch size was asked for).
+	BatchMS float64 `json:"batch_ms,omitempty"`
+	// CapacityRPS is the steady-state serving rate at the base operating
+	// point — the ring weight a remote router should use.
+	CapacityRPS float64 `json:"capacity_rps"`
+	// Level / BaseLevel are the current and preferred perforation levels.
+	Level     int `json:"level"`
+	BaseLevel int `json:"base_level"`
+	// QueueDepth counts accepted-but-unresolved requests.
+	QueueDepth int `json:"queue_depth"`
+	// BusyMS is the declared worker-occupancy horizon remaining (see
+	// SetBusyUntil); live servers report 0.
+	BusyMS float64 `json:"busy_ms"`
+	// MaxBatch is the effective serving batch cap.
+	MaxBatch int `json:"max_batch"`
+}
+
+// Predict assembles the exported prediction state. batch > 0 additionally
+// prices executing that batch size at the current level.
+func (s *Server) Predict(batch int) Prediction {
+	level := s.ctrl.Level()
+	p := Prediction{
+		PredictMS:   s.predictQueueMS(level),
+		CapacityRPS: s.CapacityRPS(),
+		Level:       level,
+		BaseLevel:   s.ctrl.Base(),
+		QueueDepth:  s.st.queueDepth(),
+		BusyMS:      s.busyMS(),
+		MaxBatch:    s.cfg.MaxBatch,
+	}
+	if batch > 0 {
+		p.BatchMS = s.ex.PredictMS(level, batch)
+	}
+	return p
+}
+
 // admitPredictMS prices admission at the deepest level escalation can
 // currently *reach* (the cheapest execution still open to it), so early
 // rejection only sheds requests graceful degradation could not have
@@ -640,6 +686,12 @@ func (s *Server) Stats() Snapshot {
 	st, trips, resets := s.brk.snapshot()
 	return s.st.snapshot(s.task, s.ctrl.Level(), esc, cal, rec, st, trips, resets)
 }
+
+// BatchCount returns how many batches the server has executed. Unlike
+// Stats — which sorts the latency reservoir to report percentiles — it
+// costs one lock, so deterministic drivers can spin on it per batch
+// without the snapshot tax.
+func (s *Server) BatchCount() uint64 { return s.st.batchCount() }
 
 // BreakerState returns the circuit breaker's current position (closed
 // when no breaker is configured).

@@ -71,3 +71,77 @@ func BuildSchedule(arrivals []Arrivals, counts []int) []Event {
 	})
 	return events
 }
+
+// ScheduleStream lazily merges multi-stream arrivals into the exact
+// (At, then Stream) order BuildSchedule materializes, holding O(streams)
+// state instead of the whole trace — how million-request soaks iterate a
+// schedule with flat memory. Arrival gaps are non-negative, so each
+// stream's events are non-decreasing in time and a head-per-stream merge
+// reproduces the globally sorted order; ties break toward the lower
+// stream index, matching BuildSchedule's comparator.
+type ScheduleStream struct {
+	arrs   []Arrivals
+	remain []int
+	heads  []Event
+	ready  []bool
+	total  int
+}
+
+// NewScheduleStream builds the merge over counts[i] arrivals drawn from
+// arrivals[i]. The arrival processes are consumed as the stream advances;
+// hand each ScheduleStream its own freshly seeded processes.
+func NewScheduleStream(arrivals []Arrivals, counts []int) *ScheduleStream {
+	s := &ScheduleStream{
+		arrs:   arrivals,
+		remain: make([]int, len(arrivals)),
+		heads:  make([]Event, len(arrivals)),
+		ready:  make([]bool, len(arrivals)),
+	}
+	for i := range arrivals {
+		n := 0
+		if i < len(counts) {
+			n = counts[i]
+		}
+		if n > 0 {
+			s.total += n
+		}
+		s.remain[i] = n
+		s.heads[i].Stream = i
+		s.advance(i)
+	}
+	return s
+}
+
+// advance draws stream i's next arrival into its head slot.
+func (s *ScheduleStream) advance(i int) {
+	if s.remain[i] <= 0 {
+		s.ready[i] = false
+		return
+	}
+	s.remain[i]--
+	s.heads[i].At += s.arrs[i].Next()
+	s.ready[i] = true
+}
+
+// Total returns how many events the stream will emit in all.
+func (s *ScheduleStream) Total() int { return s.total }
+
+// Next returns the globally next event, false once the trace is spent.
+func (s *ScheduleStream) Next() (Event, bool) {
+	best := -1
+	for i := range s.heads {
+		if !s.ready[i] {
+			continue
+		}
+		// Strict < keeps the lowest ready stream index on At ties.
+		if best < 0 || s.heads[i].At < s.heads[best].At {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Event{}, false
+	}
+	e := s.heads[best]
+	s.advance(best)
+	return e, true
+}

@@ -20,6 +20,8 @@ package pcnn
 
 import (
 	"io"
+	"net/http"
+
 	"pcnn/internal/compile"
 	"pcnn/internal/core"
 	"pcnn/internal/fault"
@@ -157,6 +159,15 @@ type (
 	FleetSoakSpec = fleet.SoakSpec
 	// FleetSoakReport is the soak's byte-reproducible result.
 	FleetSoakReport = fleet.SoakReport
+	// FleetHTTPReplicaConfig tunes a remote replica (static weight,
+	// prediction staleness bound, HTTP client, clock injection).
+	FleetHTTPReplicaConfig = fleet.HTTPReplicaConfig
+	// ServePrediction is one server's Eq 12 serving forecast
+	// (Server.Predict, the GET /predict payload core).
+	ServePrediction = serve.Prediction
+	// FleetModelPrediction is the fleet daemon's GET /predict wire payload:
+	// the best replica's Eq 12 forecast with fleet-aggregated capacity.
+	FleetModelPrediction = fleet.ModelPrediction
 )
 
 // Fleet fallback policies.
@@ -197,6 +208,18 @@ func CompileFleetDeployment(model string, task Task, platforms []string, dvfs bo
 func NewFleetHTTPReplica(id, platform, baseURL string, weight float64) *FleetHTTPReplica {
 	return fleet.NewHTTPReplica(id, platform, baseURL, weight, nil)
 }
+
+// NewFleetHTTPReplicaConfig is NewFleetHTTPReplica with the full
+// configuration surface (prediction freshness bound, injected clock).
+func NewFleetHTTPReplicaConfig(id, platform, baseURL string, cfg FleetHTTPReplicaConfig) *FleetHTTPReplica {
+	return fleet.NewHTTPReplicaConfig(id, platform, baseURL, cfg)
+}
+
+// NewFleetHandler wires the fleet daemon's full HTTP API (POST /infer,
+// GET /predict, GET /stats, GET /fleet, GET /healthz, GET /metrics,
+// POST /swap, POST /busy) — the mux cmd/pcnnd serves and the e2e
+// harness drives.
+func NewFleetHandler(fl *Fleet) http.Handler { return fleet.Handler(fl) }
 
 // RunFleetSoak drives the deterministic virtual-clock fleet soak
 // (BENCH_fleet.json): a replica-count × hedging grid over a mixed
