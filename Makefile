@@ -1,19 +1,28 @@
 GO ?= go
 
-.PHONY: ci vet build test test-short race e2e soak-fleet bench bench-gemm bench-serve bench-fleet fuzz fuzz-blocked fuzz-predict fuzz-mmpp chaos serve-smoke scenarios scenarios-smoke fleet-smoke
+.PHONY: ci vet build build-arm64 test test-short race e2e soak-fleet bench bench-gemm bench-serve bench-fleet fuzz fuzz-blocked fuzz-fusedpack fuzz-predict fuzz-mmpp chaos serve-smoke scenarios scenarios-smoke fleet-smoke
 
 # ci is the gate every change must pass: static checks, full build, the
+# arm64 cross-compile (the NEON micro-kernel's assembly and stubs only
+# build under GOARCH=arm64, so amd64-only CI would never parse them), the
 # tier-1 test suite, the race detector over the packages that own the
 # parallel GEMM backend and the serving/scenario/fleet pipelines, the
 # real-daemon e2e suite (short-mode capped), and the scenario + fleet
 # smoke grids.
-ci: vet build test race e2e scenarios-smoke fleet-smoke
+ci: vet build build-arm64 test race e2e scenarios-smoke fleet-smoke
 
 vet:
 	$(GO) vet ./...
 
 build:
 	$(GO) build ./...
+
+# build-arm64 cross-compiles the whole module for linux/arm64. It is the
+# only gate exercising internal/tensor/kern8x8_arm64.{go,s} (the NEON 8x8
+# micro-kernel) on an amd64 host — assembly errors there would otherwise
+# surface only on real arm64 hardware.
+build-arm64:
+	GOOS=linux GOARCH=arm64 $(GO) build ./...
 
 test:
 	$(GO) test ./...
@@ -38,10 +47,13 @@ e2e:
 bench:
 	$(GO) test -run='^$$' -bench='GEMM|Backend|Conv1x1|Im2col' -benchmem ./internal/tensor/ ./internal/nn/
 
-# bench-gemm reproduces the naive-vs-blocked pairs recorded in
-# BENCH_gemm.json (single-threaded; the acceptance shape is VGG_conv2_1).
+# bench-gemm reproduces the GEMM rows recorded in BENCH_gemm.json: the
+# naive-vs-blocked serial pairs (acceptance shape VGG_conv2_1), the
+# pool-sharded blocked backend, the int8 forward path, and the fused
+# im2col→pack conv comparison.
 bench-gemm:
-	$(GO) test -run='^$$' -bench='GEMMSerial|GEMMBlocked' -benchmem -benchtime=5x ./internal/tensor/
+	$(GO) test -run='^$$' -bench='GEMMSerial|GEMMBlocked|GEMMBlockedParallel|GEMMInt8' -benchmem -benchtime=5x ./internal/tensor/
+	$(GO) test -run='^$$' -bench='ConvFusedPack' -benchmem -benchtime=5x ./internal/nn/
 
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzMatMulShapes -fuzztime=30s ./internal/tensor/
@@ -51,6 +63,13 @@ fuzz:
 # internal/tensor/testdata runs as part of `test`.
 fuzz-blocked:
 	$(GO) test -run='^$$' -fuzz=FuzzBlockedVsNaive -fuzztime=30s ./internal/tensor/
+
+# fuzz-fusedpack drives random conv geometries through the fused
+# im2col→pack-B path against the two-step materialize-then-pack lowering,
+# requiring bit-identical packed panels (the committed seed corpus runs
+# as part of `test`).
+fuzz-fusedpack:
+	$(GO) test -run='^$$' -fuzz=FuzzFusedPackVsTwoStep -fuzztime=30s ./internal/tensor/
 
 # fuzz-predict hammers the Eq 12 time model's monotonicity and anchor
 # properties (the committed seed corpus runs as part of `test`).

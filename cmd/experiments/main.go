@@ -34,6 +34,10 @@ func main() {
 		// Serial and parallel GEMM execution are bit-for-bit identical, so
 		// the backend never changes a summary — only how fast it appears.
 		backend = flag.String("backend", "", "host GEMM backend: auto, serial, parallel or blocked (default $PCNN_GEMM_BACKEND or auto)")
+		// Reduced precision DOES change the numbers — it is the experiment:
+		// rerun a figure at int8 to see how the quantized host path shifts
+		// the accuracy/entropy trade against the fp32 baseline.
+		precision = flag.String("precision", "", "host GEMM precision: fp32, fp16 or int8 (default $PCNN_GEMM_PRECISION or fp32)")
 	)
 	flag.Parse()
 
@@ -43,6 +47,13 @@ func main() {
 			log.Fatal(err)
 		}
 		tensor.Default().SetBackend(b)
+	}
+	if *precision != "" {
+		p, err := tensor.ParsePrecision(*precision)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tensor.Default().SetPrecision(p)
 	}
 
 	all := !(*table1 || *fig13 || *fig14 || *fig15 || *fig16)

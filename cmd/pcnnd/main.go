@@ -87,6 +87,8 @@ func main() {
 		seed    = flag.Int64("seed", 1, "load generator seed")
 		backend = flag.String("backend", "",
 			"host GEMM backend: auto, serial, parallel or blocked (default $PCNN_GEMM_BACKEND or auto)")
+		precision = flag.String("precision", "",
+			"arm the quantization rung at this precision (fp16 or int8); escalation may then quantize host GEMMs before perforating")
 
 		scenarios = flag.String("scenarios", "",
 			"run the scenario matrix and write its JSON rows to this file (- for stdout)")
@@ -124,6 +126,14 @@ func main() {
 		}
 		tensor.Default().SetBackend(b)
 	}
+	quantize := pcnn.PrecisionFP32
+	if *precision != "" {
+		p, err := pcnn.ParsePrecision(*precision)
+		if err != nil {
+			log.Fatal(err)
+		}
+		quantize = p
+	}
 
 	if *scenarios != "" {
 		if err := runScenarios(*scenarios, *scenProm, *grid, *seed); err != nil {
@@ -148,6 +158,7 @@ func main() {
 		cfg := pcnn.ServeConfig{
 			MaxBatch: *batch, QueueCap: *queue, Workers: *workers, Pace: *pace,
 			DisableDegrade: *noDeg, Seed: *seed, RejectUnmeetable: true,
+			Quantize: quantize,
 		}
 		fl, err := buildFleet(*fleetN, splitComma(*fleetPlat), policy, *hedge, cfg)
 		if err != nil {
@@ -194,6 +205,7 @@ func main() {
 		BreakerCooldownMS: *breakerCD,
 		Seed:              *seed,
 		Faults:            inj,
+		Quantize:          quantize,
 	}
 
 	if *debug != "" {

@@ -58,7 +58,14 @@ type SoakSpec struct {
 	// Load is the offered fraction of the reference fleet's (ReferenceN
 	// replicas) aggregate capacity — held constant across every grid row,
 	// so throughput scaling with N and hedging's effect at equal load both
-	// read straight off the rows. 0 means 1.1.
+	// read straight off the rows. 0 means 0.4: with BurstFactor 4 that
+	// keeps the multi-replica rows stable on average while bursts
+	// transiently overload them, which is the regime where a hedged
+	// second leg finds spare capacity and wins. (The old 1.1 default kept
+	// every row saturated end-to-end, where hedging's duplicated work
+	// only deepened the backlog; the single-replica row still runs past
+	// saturation at 0.4 — it carries 1.2x one replica's capacity — so
+	// the overload contrast survives.)
 	Load float64 `json:"load"`
 	// ReferenceN sizes the fleet whose capacity anchors Load. 0 means 3.
 	ReferenceN int `json:"reference_n"`
@@ -81,6 +88,35 @@ type SoakSpec struct {
 	// exact (integer histograms), so the value never changes results —
 	// only how often the chunk resets. 0 means 8192.
 	ChunkRequests int `json:"chunk_requests"`
+	// BurstFactor > 1 shapes every client stream as a two-state MMPP:
+	// a burst regime at BurstFactor × the stream's mean rate and a calm
+	// regime whose rate is chosen so the long-run mean stays the offered
+	// rate. Bursts are what make hedging observable: under a flat offered
+	// load a pressured replica sits at its escalation ceiling, where the
+	// routing prediction equals the admission price and an admitted
+	// request never predicts a miss — so the hedge twin rows were
+	// byte-identical. A burst landing on a replica that recovered during
+	// the preceding calm catches it below the ceiling: the request is
+	// admitted (the ceiling still fits) while the current level predicts
+	// a miss, and the fleet hedges it. 0 means the committed default
+	// (4); any value in (0, 1] keeps the flat per-archetype processes.
+	BurstFactor float64 `json:"burst_factor"`
+	// BurstDutyFrac is the long-run fraction of time spent in the burst
+	// regime. 0 means 0.2. BurstFactor must stay ≤ 1/BurstDutyFrac or
+	// the calm rate clamps at silent and the realized mean drops below
+	// the offered load.
+	BurstDutyFrac float64 `json:"burst_duty_frac,omitempty"`
+	// RejectUnmeetable turns slack-aware early rejection on in every
+	// replica. The committed soak leaves it off: admission pricing at the
+	// escalation ceiling caps each queue below the backlog any deadline
+	// policy could act on, so with it on the hedge grid arm is vacuous —
+	// a primary that predicts a miss has already refused the request (the
+	// PR 9 residual). With it off, overload resolves through the
+	// degradation ladder, deadline misses, and — in hedge rows — hedged
+	// second legs, which is the comparison the hedge/no-hedge twins
+	// exist to make. The early-rejection trade itself is the scenario
+	// matrix's RejectUnmeetable axis (BENCH_scenarios.json).
+	RejectUnmeetable bool `json:"reject_unmeetable"`
 }
 
 func (s SoakSpec) withDefaults() SoakSpec {
@@ -94,7 +130,7 @@ func (s SoakSpec) withDefaults() SoakSpec {
 		s.ClientsPerModel = 6
 	}
 	if s.Load <= 0 {
-		s.Load = 1.1
+		s.Load = 0.4
 	}
 	if s.ReferenceN <= 0 {
 		s.ReferenceN = 3
@@ -116,6 +152,12 @@ func (s SoakSpec) withDefaults() SoakSpec {
 	}
 	if s.ChunkRequests <= 0 {
 		s.ChunkRequests = 8192
+	}
+	if s.BurstFactor == 0 {
+		s.BurstFactor = 4
+	}
+	if s.BurstDutyFrac <= 0 || s.BurstDutyFrac >= 1 {
+		s.BurstDutyFrac = 0.2
 	}
 	return s
 }
@@ -260,6 +302,29 @@ func RunSoak(spec SoakSpec) (SoakReport, error) {
 	return report, nil
 }
 
+// soakArrivals builds one client stream's arrival process at mean rate
+// per: the archetype's flat process when bursting is off, otherwise a
+// two-state MMPP whose calm rate is solved so the dwell-weighted mean
+// stays per (clamped silent when BurstFactor exceeds 1/BurstDutyFrac).
+// The burst dwell is a fixed 400ms — a handful of batch windows, long
+// enough to back a recovered replica's queue up past its deadline but
+// short enough that the row sees many independent bursts.
+func soakArrivals(spec SoakSpec, task satisfaction.Task, per float64, seed int64) workload.Arrivals {
+	if spec.BurstFactor <= 1 {
+		return workload.ArrivalsForTask(task, per, seed)
+	}
+	p := spec.BurstDutyFrac
+	calm := per * (1 - p*spec.BurstFactor) / (1 - p)
+	if calm < 0 {
+		calm = 0
+	}
+	const burstDwell = 400 * time.Millisecond
+	return workload.NewMMPPArrivals([]workload.MMPPState{
+		{RateRPS: spec.BurstFactor * per, MeanDwell: burstDwell},
+		{RateRPS: calm, MeanDwell: time.Duration(float64(burstDwell) * (1 - p) / p)},
+	}, seed)
+}
+
 // soakStreams builds one row's freshly seeded arrival processes: stream
 // s is client (s % ClientsPerModel) of model (s / ClientsPerModel).
 // Every row draws the identical trace because the seeds are fixed; the
@@ -274,7 +339,7 @@ func soakStreams(spec SoakSpec, models []soakModel, offered []float64) ([]worklo
 		rem := spec.RequestsPerModel % spec.ClientsPerModel
 		for c := 0; c < spec.ClientsPerModel; c++ {
 			s := i*spec.ClientsPerModel + c
-			arrs = append(arrs, workload.ArrivalsForTask(m.task, per, spec.Seed+int64(s+1)*7919))
+			arrs = append(arrs, soakArrivals(spec, m.task, per, spec.Seed+int64(s+1)*7919))
 			n := base
 			if c < rem {
 				n++
@@ -347,7 +412,7 @@ func runSoakRow(spec SoakSpec, models []soakModel, exV1 []map[string]serve.Execu
 			ManualFlush:      true,
 			Clock:            clk.Now,
 			Seed:             spec.Seed + int64(i+1),
-			RejectUnmeetable: true,
+			RejectUnmeetable: spec.RejectUnmeetable,
 		}})
 		if err := fl.AddReplica(node); err != nil {
 			return SoakRow{}, err

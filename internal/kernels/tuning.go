@@ -110,13 +110,17 @@ type Choice struct {
 	Kernel gpu.Kernel
 	Spill  SpillPlan
 
-	// HostBackend/HostWorkers record the host-side dimension of the
-	// choice: how internal/tensor will execute this layer's lowered GEMM
-	// when the plan is run on the reference engine — serial for small
+	// HostBackend/HostWorkers/HostPrecision record the host-side dimension
+	// of the choice: how internal/tensor will execute this layer's lowered
+	// GEMM when the plan is run on the reference engine — serial for small
 	// probes (dispatch overhead dominates), row-sharded parallel above the
-	// engine's FLOP threshold. Resolved (never Auto).
-	HostBackend tensor.Backend
-	HostWorkers int
+	// engine's FLOP threshold — and at which forward-GEMM precision the
+	// default engine is configured (fp32 unless PCNN_GEMM_PRECISION or the
+	// serving quantization rung lowered it). Backend is resolved (never
+	// Auto).
+	HostBackend   tensor.Backend
+	HostWorkers   int
+	HostPrecision tensor.Precision
 }
 
 // String summarizes the choice.
@@ -129,6 +133,7 @@ func (c Choice) String() string {
 // launchable design point. name labels the produced kernel.
 func Select(name string, m, n, k int, dev *gpu.Device) (Choice, error) {
 	hostBackend, hostWorkers := tensor.Default().PlanGEMM(m, n, k)
+	hostPrecision := tensor.Default().Precision()
 	if n < GEMVThreshold {
 		kern := BuildGEMV(name, m, n, k, dev)
 		tlp := dev.OccupancyFor(kern).CTAs
@@ -143,6 +148,8 @@ func Select(name string, m, n, k int, dev *gpu.Device) (Choice, error) {
 			Kernel:      kern,
 			HostBackend: hostBackend,
 			HostWorkers: hostWorkers,
+
+			HostPrecision: hostPrecision,
 		}, nil
 	}
 	var best Choice
@@ -165,6 +172,8 @@ func Select(name string, m, n, k int, dev *gpu.Device) (Choice, error) {
 					Spill:       PlanSpill(tile, cand.Regs, k, dev),
 					HostBackend: hostBackend,
 					HostWorkers: hostWorkers,
+
+					HostPrecision: hostPrecision,
 				}
 				found = true
 			}

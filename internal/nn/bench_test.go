@@ -80,6 +80,36 @@ func BenchmarkIm2col(b *testing.B) {
 	}
 }
 
+// BenchmarkConvFusedPack compares conv forward on the blocked backend
+// with the fused im2col→pack-B path against the two-step materializing
+// lowering at a VGG-ish geometry. -benchmem makes the acceptance
+// criterion visible: the fused path must drop allocs/op (no fanIn×nPos
+// column matrix) with bit-identical outputs (TestConvFusedPackMatches).
+func BenchmarkConvFusedPack(b *testing.B) {
+	for _, fused := range []bool{true, false} {
+		name := "fused"
+		if !fused {
+			name = "twostep"
+		}
+		b.Run(name, func(b *testing.B) {
+			defer func() { convFusedPack = true }()
+			convFusedPack = fused
+			rng := rand.New(rand.NewSource(1))
+			conv := NewConv("b", 64, 28, 28, 64, 3, 1, 1, rng)
+			conv.SetEngine(tensor.NewEngine(tensor.Blocked, 1))
+			x := tensor.New(2, 64, 28, 28)
+			for i := range x.Data {
+				x.Data[i] = rng.Float32()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				conv.Forward(x, false)
+			}
+		})
+	}
+}
+
 // BenchmarkConvForwardPerforated measures the same convolution at half
 // keep — the payoff run-time tuning banks on.
 func BenchmarkConvForwardPerforated(b *testing.B) {

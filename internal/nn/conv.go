@@ -46,6 +46,12 @@ type Conv struct {
 // im2col lowering.
 var conv1x1Fast = true
 
+// convFusedPack gates the fused im2col→pack-B path on the blocked
+// backend: GEMM panels are packed straight from the input image, so
+// inference forward never materializes the column matrix. Tests flip it
+// to prove the fused path is bit-identical to the two-step lowering.
+var convFusedPack = true
+
 // NewConv creates a convolutional layer with He-initialized weights.
 func NewConv(name string, inC, inH, inW, outC, k, stride, pad int, rng *rand.Rand) *Conv {
 	c := &Conv{
@@ -148,12 +154,22 @@ func (c *Conv) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	// GEMM can read the input directly instead of copying it through
 	// im2col. Perforation still needs the sampled column matrix.
 	fast1x1 := conv1x1Fast && c.k == 1 && c.stride == 1 && c.pad == 0 && !perforated
+	// On the blocked backend, unperforated inference packs GEMM panels
+	// straight from the input image (fused im2col→pack-B) — the column
+	// matrix is never materialized and the fanIn×nPos scratch buffer, the
+	// largest in conv forward, is never taken.
+	fusedPack := convFusedPack && !train && !perforated && !fast1x1 &&
+		eng.Backend() == tensor.Blocked
+	geom := tensor.Im2colGeom{
+		C: c.inC, H: c.inH, W: c.inW, K: c.k,
+		Stride: c.stride, Pad: c.pad, HO: ho, WO: wo,
+	}
 	// The GEMM shapes are identical for every sample in the batch, so the
 	// column matrix (at inference; training caches it) and the GEMM output
 	// come from the scratch pool and are reused across the loop.
 	var colsScratch *tensor.Tensor
 	var releaseCols func()
-	if !train && !fast1x1 {
+	if !train && !fast1x1 && !fusedPack {
 		colsScratch, releaseCols = tensor.NewScratch(fanIn, nPos)
 		defer releaseCols()
 	}
@@ -162,23 +178,27 @@ func (c *Conv) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 	for i := 0; i < n; i++ {
 		xi := x.Data[i*planeIn : (i+1)*planeIn]
-		var cols *tensor.Tensor
-		switch {
-		case fast1x1:
-			cols = tensor.FromSlice(xi, fanIn, nPos)
-		case train:
-			cols = tensor.New(fanIn, nPos)
-			im2colInto(cols.Data, xi, c.inC, c.inH, c.inW, c.k, c.stride, c.pad, positions, ho, wo)
-		default:
-			cols = colsScratch
-			im2colInto(cols.Data, xi, c.inC, c.inH, c.inW, c.k, c.stride, c.pad, positions, ho, wo)
+		if fusedPack {
+			eng.MatMulIm2colInto(res, c.weight.W, xi, geom) // outC × nPos
+		} else {
+			var cols *tensor.Tensor
+			switch {
+			case fast1x1:
+				cols = tensor.FromSlice(xi, fanIn, nPos)
+			case train:
+				cols = tensor.New(fanIn, nPos)
+				im2colInto(cols.Data, xi, c.inC, c.inH, c.inW, c.k, c.stride, c.pad, positions, ho, wo)
+			default:
+				cols = colsScratch
+				im2colInto(cols.Data, xi, c.inC, c.inH, c.inW, c.k, c.stride, c.pad, positions, ho, wo)
+			}
+			if train {
+				// Backward only reads lastCols, so the 1×1 path may cache the
+				// input-aliasing view without copying.
+				c.lastCols[i] = cols
+			}
+			eng.MatMulInto(res, c.weight.W, cols) // outC × nPos
 		}
-		if train {
-			// Backward only reads lastCols, so the 1×1 path may cache the
-			// input-aliasing view without copying.
-			c.lastCols[i] = cols
-		}
-		eng.MatMulInto(res, c.weight.W, cols) // outC × nPos
 		oi := out.Data[i*c.outC*planeOut : (i+1)*c.outC*planeOut]
 		if perforated {
 			for f := 0; f < c.outC; f++ {

@@ -152,6 +152,54 @@ func TestConv1x1FastPathMatchesGeneric(t *testing.T) {
 	sameData("db", fastConv.bias.G.Data, genConv.bias.G.Data)
 }
 
+// TestConvFusedPackMatches proves the fused im2col→pack-B inference path
+// is bit-identical to the two-step materializing lowering on the blocked
+// backend, across stride/pad geometries and on both the serial and the
+// sharded engine. (Perforated and training forwards never take the fused
+// path, so only the plain inference forward is compared.)
+func TestConvFusedPackMatches(t *testing.T) {
+	if !convFusedPack {
+		t.Fatal("convFusedPack disabled outside a test")
+	}
+	defer func() { convFusedPack = true }()
+
+	geoms := []struct {
+		inC, h, w, outC, k, stride, pad int
+	}{
+		{8, 9, 9, 6, 3, 1, 1},
+		{3, 21, 21, 8, 5, 4, 0}, // AlexNet-conv1-like strided shape
+		{4, 7, 6, 5, 3, 2, 2},   // pad-heavy ragged shape
+	}
+	for gi, g := range geoms {
+		for _, workers := range []int{1, 4} {
+			eng := tensor.NewEngine(tensor.Blocked, workers)
+			eng.SetParallelThreshold(0)
+			makeConv := func() (*Conv, *tensor.Tensor) {
+				rng := rand.New(rand.NewSource(int64(31 + gi)))
+				conv := NewConv("c", g.inC, g.h, g.w, g.outC, g.k, g.stride, g.pad, rng)
+				conv.SetEngine(eng)
+				x := tensor.New(2, g.inC, g.h, g.w)
+				for i := range x.Data {
+					x.Data[i] = rng.Float32()*2 - 1
+				}
+				return conv, x
+			}
+			fusedConv, x := makeConv()
+			fused := fusedConv.Forward(x, false)
+			convFusedPack = false
+			twoConv, x2 := makeConv()
+			twostep := twoConv.Forward(x2, false)
+			convFusedPack = true
+			for i := range fused.Data {
+				if fused.Data[i] != twostep.Data[i] {
+					t.Fatalf("geom %d workers %d: elem %d: fused %g, two-step %g",
+						gi, workers, i, fused.Data[i], twostep.Data[i])
+				}
+			}
+		}
+	}
+}
+
 // TestConv1x1PerforatedStillSamples makes sure the fast path defers to the
 // sampled im2col when perforation is active (the fast path cannot shrink
 // the GEMM's N dimension).

@@ -241,7 +241,7 @@ func (s *Server) flushDelayMS(q *prioQueues) float64 {
 	if n > s.cfg.MaxBatch {
 		n = s.cfg.MaxBatch
 	}
-	pred := s.queuePredictMS(s.ctrl.Level(), n)
+	pred := s.queuePredictMS(s.ctrl.Level(), s.ctrl.Quant(), n)
 	guard := slackGuardFrac * pred
 	d := linger
 	q.heads(func(r *request) {
@@ -253,26 +253,27 @@ func (s *Server) flushDelayMS(q *prioQueues) float64 {
 }
 
 // queuePredictMS estimates how long a flush of n requests will take to
-// finish at a level: any externally-declared worker occupancy, plus the
-// batches already in flight ahead of it (spread over the worker pool),
-// plus its own predicted execution time.
-func (s *Server) queuePredictMS(level, n int) float64 {
-	ahead := s.busyMS() + float64(s.inflight.Load())*s.ex.PredictMS(level, s.cfg.MaxBatch)/float64(s.cfg.Workers)
-	return ahead + s.ex.PredictMS(level, n)
+// finish at an operating point: any externally-declared worker occupancy,
+// plus the batches already in flight ahead of it (spread over the worker
+// pool), plus its own predicted execution time.
+func (s *Server) queuePredictMS(level int, quant bool, n int) float64 {
+	ahead := s.busyMS() + float64(s.inflight.Load())*s.predictMS(level, quant, s.cfg.MaxBatch)/float64(s.cfg.Workers)
+	return ahead + s.predictMS(level, quant, n)
 }
 
 // flush hands one batch to the worker pool, escalating the degradation
-// level first if the tightest request's slack has gone negative (graceful
-// degradation instead of dropping).
+// ladder first if the tightest request's slack has gone negative
+// (graceful degradation instead of dropping) — the quantization rung
+// before deeper perforation, when it is armed and not vetoed.
 func (s *Server) flush(reqs []*request) {
 	n := len(reqs)
 	for _, r := range reqs {
 		r.tr.Mark("coalesce")
 	}
-	level := s.ctrl.Level()
+	level, quant := s.ctrl.Level(), s.ctrl.Quant()
 	if !s.cfg.DisableDegrade {
-		level = s.ctrl.escalate(func(l int) bool {
-			pred := s.queuePredictMS(l, n)
+		level, quant = s.ctrl.escalate(func(l int, q bool) bool {
+			pred := s.queuePredictMS(l, q, n)
 			guard := slackGuardFrac * pred
 			for _, r := range reqs {
 				if r.task.SlackMS(s.sinceMS(r.at), pred) < guard {
@@ -286,7 +287,7 @@ func (s *Server) flush(reqs []*request) {
 		r.tr.Mark("escalate")
 	}
 	s.inflight.Add(1)
-	s.flushCh <- &batchJob{reqs: reqs, level: level}
+	s.flushCh <- &batchJob{reqs: reqs, level: level, quant: quant}
 }
 
 // worker executes flushed batches until the batcher closes the channel.
@@ -344,7 +345,7 @@ func (s *Server) runBatch(job *batchJob) {
 	if demoted {
 		s.st.demotedInc()
 	}
-	res, err := s.executeBatch(job.level, n, inputs)
+	res, err := s.executeBatch(job.level, job.quant, n, inputs)
 	if s.cfg.Pace > 0 && err == nil {
 		time.Sleep(time.Duration(res.TimeMS * s.cfg.Pace * float64(time.Millisecond)))
 	}
@@ -382,6 +383,7 @@ func (s *Server) runBatch(job *batchJob) {
 			ID:              r.id,
 			Batch:           n,
 			Level:           job.level,
+			Quantized:       job.quant,
 			QueueMS:         queueMS,
 			ExecMS:          res.TimeMS,
 			ResponseMS:      responseMS,
@@ -404,7 +406,7 @@ func (s *Server) runBatch(job *batchJob) {
 	// finished inside half its own deadline; deadline-free batches never
 	// ease an escalated level back down.
 	s.ctrl.observe(res.Entropy > s.task.EntropyThreshold, sawDeadline && comfortable)
-	s.st.batchDone(n)
+	s.st.batchDone(n, job.quant)
 }
 
 // finishTrace closes a request's trace (resolve stage), folds its stage

@@ -17,16 +17,30 @@ type controller struct {
 	base         int // preferred point: most aggressive level within the entropy threshold
 	max          int
 	ceiling      int // calibration-imposed escalation cap
-	cooldown     int // flushes left until the ceiling releases
+	cooldown     int // flushes left until the ceiling (and quant veto) release
 	recoverAfter int
 	confident    int
+
+	// The quantization rung. When enabled, escalation switches the host
+	// GEMMs to reduced precision *before* deepening perforation — the
+	// quant rung costs less entropy than another level of perforation, so
+	// it is the cheapest escalation on the ladder. A batch whose measured
+	// entropy crosses the threshold while quantized blames the most recent
+	// rung first: quant switches off and is *vetoed* for a cooldown
+	// window, exactly as a level calibration pins the ceiling.
+	quantEnabled bool
+	quant        bool
+	quantVeto    bool
 
 	escalations  uint64
 	calibrations uint64
 	recoveries   uint64
+
+	quantEscalations  uint64
+	quantCalibrations uint64
 }
 
-func newController(levels, base, recoverAfter int) *controller {
+func newController(levels, base, recoverAfter int, quantEnabled bool) *controller {
 	if levels < 1 {
 		levels = 1
 	}
@@ -43,6 +57,7 @@ func newController(levels, base, recoverAfter int) *controller {
 		max:          max,
 		ceiling:      max,
 		recoverAfter: recoverAfter,
+		quantEnabled: quantEnabled,
 	}
 }
 
@@ -61,29 +76,50 @@ func (c *controller) Base() int {
 	return c.base
 }
 
-// reachable returns the deepest level escalation can currently use: the
-// path's end normally, or the calibration-imposed ceiling while a
-// backtrack cooldown holds. Admission prices its early-rejection check
-// here — a level entropy calibration has fenced off cannot save anyone.
-func (c *controller) reachable() int {
+// Quant reports whether batches currently execute quantized.
+func (c *controller) Quant() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.ceiling
+	return c.quant
 }
 
-// escalate raises the level until fits(level) reports the flush would meet
-// its deadline, or the (possibly calibration-lowered) ceiling stops it. It
-// returns the level the flush executes at. The path is ordered by the
-// offline tuner's TE ranking (Eq 14), so the first fitting level is the
-// cheapest escalation in entropy terms.
-func (c *controller) escalate(fits func(level int) bool) int {
+// reachable returns the deepest operating point escalation can currently
+// use: the path's end normally, or the calibration-imposed ceiling while
+// a backtrack cooldown holds, plus whether the quant rung could serve
+// (enabled, and either already on or not vetoed). Admission prices its
+// early-rejection check here — a rung entropy calibration has fenced off
+// cannot save anyone.
+func (c *controller) reachable() (level int, quant bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for !fits(c.level) && c.level < c.ceiling {
+	return c.ceiling, c.quantEnabled && (c.quant || !c.quantVeto)
+}
+
+// escalate raises the operating point until fits(level, quant) reports the
+// flush would meet its deadline, or the (possibly calibration-lowered)
+// ceiling stops it. It returns the point the flush executes at. The quant
+// rung is tried before any perforation step — quantize-before-perforate:
+// reduced precision costs less entropy than deeper perforation, so it is
+// the cheapest rung on the ladder — unless an entropy calibration has
+// vetoed it for the cooldown window. The level path is ordered by the
+// offline tuner's TE ranking (Eq 14), so within perforation the first
+// fitting level is likewise the cheapest escalation in entropy terms.
+func (c *controller) escalate(fits func(level int, quant bool) bool) (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for !fits(c.level, c.quant) {
+		if c.quantEnabled && !c.quant && !c.quantVeto {
+			c.quant = true
+			c.quantEscalations++
+			continue
+		}
+		if c.level >= c.ceiling {
+			break
+		}
 		c.level++
 		c.escalations++
 	}
-	return c.level
+	return c.level, c.quant
 }
 
 // observe folds one executed batch's signals back into the level.
@@ -97,19 +133,37 @@ func (c *controller) observe(entropyExceeded, comfortable bool) {
 		c.cooldown--
 		if c.cooldown == 0 {
 			c.ceiling = c.max
+			c.quantVeto = false
 		}
 	}
 	switch {
+	case entropyExceeded && c.quant:
+		// Blame the most recently added rung first: quantization switches
+		// off and is vetoed for the cooldown window, so the very next
+		// flush cannot re-enter the precision that just proved too
+		// uncertain. Perforation backtracks only if entropy stays high at
+		// full precision.
+		c.quant = false
+		c.quantVeto = true
+		c.quantCalibrations++
+		c.cooldown = c.recoverAfter
+		c.confident = 0
 	case entropyExceeded && c.level > 0:
 		c.level--
 		c.calibrations++
 		c.ceiling = c.level
 		c.cooldown = c.recoverAfter
 		c.confident = 0
-	case comfortable && c.level > c.base:
+	case comfortable && (c.level > c.base || c.quant):
 		c.confident++
 		if c.confident >= c.recoverAfter {
-			c.level--
+			// Recovery unwinds the ladder in reverse: perforation eases
+			// back toward base first, the quant rung releases last.
+			if c.level > c.base {
+				c.level--
+			} else {
+				c.quant = false
+			}
 			c.recoveries++
 			c.confident = 0
 		}
@@ -123,4 +177,12 @@ func (c *controller) counts() (escalations, calibrations, recoveries uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.escalations, c.calibrations, c.recoveries
+}
+
+// quantCounts returns the quant rung's lifetime escalation / calibration
+// tallies.
+func (c *controller) quantCounts() (escalations, calibrations uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.quantEscalations, c.quantCalibrations
 }

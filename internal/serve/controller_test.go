@@ -3,8 +3,8 @@ package serve
 import "testing"
 
 // never and always are escalate() predicates for the controller tests.
-func never(int) bool  { return false }
-func always(int) bool { return true }
+func never(int, bool) bool  { return false }
+func always(int, bool) bool { return true }
 
 func TestNewControllerClamps(t *testing.T) {
 	cases := []struct {
@@ -18,7 +18,7 @@ func TestNewControllerClamps(t *testing.T) {
 		{levels: -2, base: 1, wantLevel: 0, wantMax: 0},
 	}
 	for _, c := range cases {
-		ctl := newController(c.levels, c.base, 4)
+		ctl := newController(c.levels, c.base, 4, false)
 		if ctl.Level() != c.wantLevel || ctl.Base() != c.wantLevel || ctl.max != c.wantMax {
 			t.Errorf("newController(%d, %d): level %d base %d max %d, want level/base %d max %d",
 				c.levels, c.base, ctl.Level(), ctl.Base(), ctl.max, c.wantLevel, c.wantMax)
@@ -27,20 +27,23 @@ func TestNewControllerClamps(t *testing.T) {
 }
 
 func TestControllerEscalateWalksToFit(t *testing.T) {
-	ctl := newController(6, 0, 4)
-	got := ctl.escalate(func(level int) bool { return level >= 3 })
+	ctl := newController(6, 0, 4, false)
+	got, quant := ctl.escalate(func(level int, _ bool) bool { return level >= 3 })
 	if got != 3 || ctl.Level() != 3 {
 		t.Fatalf("escalate stopped at %d, want 3", got)
+	}
+	if quant {
+		t.Fatal("quant-disabled controller escalated the quant rung")
 	}
 	if esc, _, _ := ctl.counts(); esc != 3 {
 		t.Fatalf("escalations = %d, want 3", esc)
 	}
 	// Already fitting: no movement.
-	if got := ctl.escalate(always); got != 3 {
+	if got, _ := ctl.escalate(always); got != 3 {
 		t.Fatalf("escalate moved a fitting level to %d", got)
 	}
 	// Nothing fits: walks to the ceiling (max) and stops.
-	if got := ctl.escalate(never); got != 5 {
+	if got, _ := ctl.escalate(never); got != 5 {
 		t.Fatalf("escalate under never-fits stopped at %d, want max 5", got)
 	}
 }
@@ -51,8 +54,8 @@ func TestControllerEscalateWalksToFit(t *testing.T) {
 // proved too uncertain; the ceiling releases only when the cooldown
 // expires.
 func TestControllerCalibrationPinsCeiling(t *testing.T) {
-	ctl := newController(5, 0, 2) // max 4, recoverAfter (cooldown) 2
-	ctl.escalate(func(level int) bool { return level >= 3 })
+	ctl := newController(5, 0, 2, false) // max 4, recoverAfter (cooldown) 2
+	ctl.escalate(func(level int, _ bool) bool { return level >= 3 })
 
 	ctl.observe(true, false) // entropy crossed: backtrack 3 → 2
 	if ctl.Level() != 2 {
@@ -63,16 +66,16 @@ func TestControllerCalibrationPinsCeiling(t *testing.T) {
 	}
 
 	// Cooldown window, flush 1: the ceiling caps escalation at 2.
-	if got := ctl.escalate(never); got != 2 {
+	if got, _ := ctl.escalate(never); got != 2 {
 		t.Fatalf("escalate during cooldown reached %d, want ceiling 2", got)
 	}
 	ctl.observe(false, false) // cooldown 2 → 1
-	if got := ctl.escalate(never); got != 2 {
+	if got, _ := ctl.escalate(never); got != 2 {
 		t.Fatalf("escalate during cooldown reached %d, want ceiling 2", got)
 	}
 	ctl.observe(false, false) // cooldown 1 → 0: ceiling releases to max
 
-	if got := ctl.escalate(never); got != 4 {
+	if got, _ := ctl.escalate(never); got != 4 {
 		t.Fatalf("escalate after cooldown reached %d, want max 4", got)
 	}
 }
@@ -81,28 +84,28 @@ func TestControllerCalibrationPinsCeiling(t *testing.T) {
 // inside the cooldown window pins a still-lower ceiling and restarts the
 // window, rather than letting the original window release it early.
 func TestControllerRecalibrationRestartsCooldown(t *testing.T) {
-	ctl := newController(5, 0, 2)
-	ctl.escalate(func(level int) bool { return level >= 3 })
+	ctl := newController(5, 0, 2, false)
+	ctl.escalate(func(level int, _ bool) bool { return level >= 3 })
 	ctl.observe(true, false) // 3 → 2, ceiling 2, cooldown 2
 	ctl.observe(true, false) // 2 → 1, ceiling 1, cooldown restarts at 2
 	if ctl.Level() != 1 {
 		t.Fatalf("level = %d, want 1", ctl.Level())
 	}
-	if got := ctl.escalate(never); got != 1 {
+	if got, _ := ctl.escalate(never); got != 1 {
 		t.Fatalf("escalate reached %d, want re-pinned ceiling 1", got)
 	}
 	ctl.observe(false, false) // cooldown 2 → 1
-	if got := ctl.escalate(never); got != 1 {
+	if got, _ := ctl.escalate(never); got != 1 {
 		t.Fatalf("ceiling released one flush early (reached %d)", got)
 	}
 	ctl.observe(false, false) // cooldown 1 → 0
-	if got := ctl.escalate(never); got != 4 {
+	if got, _ := ctl.escalate(never); got != 4 {
 		t.Fatalf("escalate after restarted cooldown reached %d, want 4", got)
 	}
 }
 
 func TestControllerCalibrationAtLevelZero(t *testing.T) {
-	ctl := newController(4, 0, 2)
+	ctl := newController(4, 0, 2, false)
 	for i := 0; i < 3; i++ {
 		ctl.observe(true, false)
 	}
@@ -113,14 +116,14 @@ func TestControllerCalibrationAtLevelZero(t *testing.T) {
 		t.Fatalf("level-0 crossings counted %d calibrations, want 0", cal)
 	}
 	// The un-backtrackable crossing must not leave a stale ceiling.
-	if got := ctl.escalate(never); got != 3 {
+	if got, _ := ctl.escalate(never); got != 3 {
 		t.Fatalf("escalate reached %d, want max 3", got)
 	}
 }
 
 func TestControllerRecoveryStreak(t *testing.T) {
-	ctl := newController(6, 1, 3) // base 1, recoverAfter 3
-	ctl.escalate(func(level int) bool { return level >= 4 })
+	ctl := newController(6, 1, 3, false) // base 1, recoverAfter 3
+	ctl.escalate(func(level int, _ bool) bool { return level >= 4 })
 
 	// Two comfortable batches, then a neutral one: streak resets.
 	ctl.observe(false, true)
@@ -145,5 +148,107 @@ func TestControllerRecoveryStreak(t *testing.T) {
 	}
 	if ctl.Level() != 1 {
 		t.Fatalf("level = %d after long comfort, want base 1", ctl.Level())
+	}
+}
+
+// TestControllerQuantBeforePerforate pins the ladder ordering: under
+// pressure the controller tries the quant rung before deepening
+// perforation, and only walks levels once quantization alone is not
+// enough.
+func TestControllerQuantBeforePerforate(t *testing.T) {
+	ctl := newController(6, 0, 4, true)
+
+	// Quantization alone rescues the flush: level must not move.
+	level, quant := ctl.escalate(func(level int, quant bool) bool { return quant })
+	if level != 0 || !quant {
+		t.Fatalf("escalate = (%d, %v), want quant at level 0", level, quant)
+	}
+	if esc, _, _ := ctl.counts(); esc != 0 {
+		t.Fatalf("perforation escalations = %d, want 0", esc)
+	}
+	if qesc, _ := ctl.quantCounts(); qesc != 1 {
+		t.Fatalf("quant escalations = %d, want 1", qesc)
+	}
+
+	// Quantization is insufficient: levels walk, with quant staying on.
+	level, quant = ctl.escalate(func(level int, quant bool) bool { return quant && level >= 2 })
+	if level != 2 || !quant {
+		t.Fatalf("escalate = (%d, %v), want quant at level 2", level, quant)
+	}
+	if esc, _, _ := ctl.counts(); esc != 2 {
+		t.Fatalf("perforation escalations = %d, want 2", esc)
+	}
+}
+
+// TestControllerQuantVeto is the deterministic calibration-veto test: an
+// entropy crossing while quantized switches the rung off and vetoes it
+// for exactly the cooldown window — escalate must NEVER return quant
+// while the veto holds, no matter the pressure — and the veto releases
+// with the cooldown.
+func TestControllerQuantVeto(t *testing.T) {
+	ctl := newController(4, 0, 3, true) // recoverAfter (cooldown) 3
+	if _, quant := ctl.escalate(never); !quant {
+		t.Fatal("quant rung did not engage under pressure")
+	}
+
+	ctl.observe(true, false) // entropy crossed while quantized
+	if ctl.Quant() {
+		t.Fatal("quant still on after a quantized entropy crossing")
+	}
+	if _, qcal := ctl.quantCounts(); qcal != 1 {
+		t.Fatalf("quant calibrations = %d, want 1", qcal)
+	}
+	if _, cal, _ := ctl.counts(); cal != 0 {
+		t.Fatalf("the quantized crossing charged %d perforation calibrations, want 0", cal)
+	}
+	if _, q := ctl.reachable(); q {
+		t.Fatal("reachable() offers the quant rung while vetoed")
+	}
+
+	// Every flush inside the cooldown window: maximum pressure, and the
+	// rung must stay fenced off.
+	for i := 0; i < 3; i++ {
+		if _, quant := ctl.escalate(never); quant {
+			t.Fatalf("flush %d inside the veto window escalated to quant", i)
+		}
+		ctl.observe(false, false)
+	}
+
+	// Cooldown expired: the rung is available again.
+	if _, q := ctl.reachable(); !q {
+		t.Fatal("veto did not release with the cooldown")
+	}
+	if _, quant := ctl.escalate(never); !quant {
+		t.Fatal("quant rung unavailable after the veto released")
+	}
+}
+
+// TestControllerQuantRecoveryOrder: recovery unwinds perforation back to
+// base first and releases the quant rung last, mirroring (in reverse) the
+// quantize-before-perforate escalation order.
+func TestControllerQuantRecoveryOrder(t *testing.T) {
+	ctl := newController(4, 0, 2, true)
+	ctl.escalate(func(level int, quant bool) bool { return quant && level >= 2 })
+
+	for i := 0; i < 2; i++ {
+		ctl.observe(false, true)
+	}
+	if ctl.Level() != 1 || !ctl.Quant() {
+		t.Fatalf("after streak 1: level %d quant %v, want level 1 quantized", ctl.Level(), ctl.Quant())
+	}
+	for i := 0; i < 2; i++ {
+		ctl.observe(false, true)
+	}
+	if ctl.Level() != 0 || !ctl.Quant() {
+		t.Fatalf("after streak 2: level %d quant %v, want level 0 quantized", ctl.Level(), ctl.Quant())
+	}
+	for i := 0; i < 2; i++ {
+		ctl.observe(false, true)
+	}
+	if ctl.Level() != 0 || ctl.Quant() {
+		t.Fatalf("after streak 3: level %d quant %v, want full precision at base", ctl.Level(), ctl.Quant())
+	}
+	if _, _, rec := ctl.counts(); rec != 3 {
+		t.Fatalf("recoveries = %d, want 3", rec)
 	}
 }

@@ -59,6 +59,49 @@ type Executor interface {
 // builds for pipelines without a measured tuning table.
 const DefaultSyntheticLevels = 6
 
+// Documented output-uncertainty premiums of the reduced-precision modes:
+// the mean-entropy increase quantized classification adds over fp32 at
+// the same perforation level, bounded empirically by the int8 agreement
+// test in quant_test.go. The server enables a mode's rung only when the
+// base level's entropy plus this delta still clears the task threshold.
+const (
+	// Int8EntropyDelta bounds the entropy premium of symmetric int8
+	// quantization with per-row/per-column scales.
+	Int8EntropyDelta = 0.05
+	// FP16EntropyDelta bounds the premium of fp16-storage GEMM, whose
+	// 2^-11 operand rounding barely perturbs softmax rows.
+	FP16EntropyDelta = 0.01
+)
+
+// QuantSpec describes one reduced-precision execution mode an executor
+// offers the serving ladder's quantization rung.
+type QuantSpec struct {
+	// Speedup is the modeled whole-batch throughput factor over fp32 at
+	// the same level; escalation prices a quantized flush at
+	// PredictMS / Speedup.
+	Speedup float64
+	// EntropyDelta is the mode's documented uncertainty premium (see the
+	// *EntropyDelta constants). The entropy gate — enable the rung only
+	// when Entropy(base) + EntropyDelta ≤ the task threshold — reads it
+	// at server construction.
+	EntropyDelta float64
+}
+
+// QuantExecutor is the optional interface (the BatchLimiter /
+// LayerProfiler pattern) executors implement to serve the quantization
+// rung. Implementations must be safe for concurrent use alongside
+// Execute: the controller can flip precision between flushes.
+type QuantExecutor interface {
+	// QuantSpec reports whether the executor supports reduced precision p
+	// and, if so, its modeled cost/uncertainty profile.
+	QuantSpec(p tensor.Precision) (QuantSpec, bool)
+	// PredictQuantMS is PredictMS for a batch whose host GEMMs run at
+	// precision p. Like PredictMS it must be cheap.
+	PredictQuantMS(p tensor.Precision, level, batch int) float64
+	// ExecuteQuant runs one batch with host GEMMs at precision p.
+	ExecuteQuant(p tensor.Precision, level, batch int, inputs *tensor.Tensor) (BatchResult, error)
+}
+
 // SyntheticPath builds a degradation path for pipelines that have no
 // trained scaled analogue (and hence no measured tuning table): level i
 // perforates every conv layer to step^i of its output area, quantized to
@@ -132,6 +175,11 @@ type PlanExecutor struct {
 	profiles map[levelBatch][]compile.LayerProfile
 	preds    map[levelBatch]float64
 	limit    int // memory batch ceiling; 0 = not yet probed
+
+	// quantEngines holds one lazily-built GEMM engine per reduced
+	// precision, sharing the process-wide worker pool; ExecuteQuant swaps
+	// one onto the scaled network under netMu for the batch's duration.
+	quantEngines map[tensor.Precision]*tensor.Engine
 
 	// netMu serializes perforation state on the shared scaled network.
 	netMu sync.Mutex
@@ -440,6 +488,15 @@ func (e *PlanExecutor) Execute(level, batch int, inputs *tensor.Tensor) (BatchRe
 // table entry matching the level, returning softmax rows and measured
 // mean entropy.
 func (e *PlanExecutor) predict(level int, inputs *tensor.Tensor) ([][]float32, float64) {
+	return e.predictWith(nil, level, inputs)
+}
+
+// predictWith is predict with an optional GEMM engine swapped onto the
+// scaled network for the batch's duration. netMu serializes both the
+// perforation state and the engine swap, and SetEngine(nil) restores the
+// default engine before the lock releases — no other non-test code calls
+// SetEngine, so concurrent fp32 batches never observe the quant engine.
+func (e *PlanExecutor) predictWith(eng *tensor.Engine, level int, inputs *tensor.Tensor) ([][]float32, float64) {
 	e.netMu.Lock()
 	defer e.netMu.Unlock()
 	lvl := level
@@ -457,7 +514,87 @@ func (e *PlanExecutor) predict(level int, inputs *tensor.Tensor) ([][]float32, f
 			l.SetPerforation(k.W, k.H)
 		}
 	}
+	if eng != nil {
+		e.scaled.SetEngine(eng)
+		defer e.scaled.SetEngine(nil)
+	}
 	probs := e.scaled.Predict(inputs)
 	e.scaled.ClearPerforation()
 	return probs, entropy.Mean(probs)
+}
+
+// QuantSpec implements QuantExecutor: int8 and fp16 host GEMM modes with
+// the compile package's modeled throughput factors and the documented
+// entropy premiums.
+func (e *PlanExecutor) QuantSpec(p tensor.Precision) (QuantSpec, bool) {
+	switch p {
+	case tensor.Int8:
+		return QuantSpec{Speedup: compile.Int8GEMMSpeedup, EntropyDelta: Int8EntropyDelta}, true
+	case tensor.FP16:
+		return QuantSpec{Speedup: compile.FP16GEMMSpeedup, EntropyDelta: FP16EntropyDelta}, true
+	}
+	return QuantSpec{}, false
+}
+
+// PredictQuantMS implements QuantExecutor. Every Eq 12 term is linear in
+// per-layer issue cost, so dividing the cached fp32 estimate by the
+// mode's throughput factor equals compile.PredictMSQuant on the
+// underlying plan — without a second (level, batch, precision) cache.
+func (e *PlanExecutor) PredictQuantMS(p tensor.Precision, level, batch int) float64 {
+	spec, ok := e.QuantSpec(p)
+	if !ok || spec.Speedup <= 0 {
+		return e.PredictMS(level, batch)
+	}
+	return e.PredictMS(level, batch) / spec.Speedup
+}
+
+// quantEngine returns (building lazily) the shared-pool GEMM engine for
+// one reduced precision, mirroring the default engine's backend and
+// threshold so quantization changes arithmetic, not parallel strategy.
+func (e *PlanExecutor) quantEngine(p tensor.Precision) *tensor.Engine {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if eng, ok := e.quantEngines[p]; ok {
+		return eng
+	}
+	d := tensor.Default()
+	eng := tensor.NewEngine(d.Backend(), 0)
+	eng.SetParallelThreshold(d.ParallelThreshold())
+	eng.SetPrecision(p)
+	if e.quantEngines == nil {
+		e.quantEngines = map[tensor.Precision]*tensor.Engine{}
+	}
+	e.quantEngines[p] = eng
+	return eng
+}
+
+// ExecuteQuant implements QuantExecutor: the simulated batch cost rescaled
+// by the mode's modeled speedup (energy tracks time at roughly constant
+// power), and — when an executable network is attached — real quantized
+// classification through a reduced-precision engine, whose measured
+// entropy feeds the calibration veto. Unsupported precisions degrade to
+// the fp32 path rather than failing the batch.
+func (e *PlanExecutor) ExecuteQuant(p tensor.Precision, level, batch int, inputs *tensor.Tensor) (BatchResult, error) {
+	spec, ok := e.QuantSpec(p)
+	if !ok {
+		return e.Execute(level, batch, inputs)
+	}
+	if batch < 1 {
+		return BatchResult{}, fmt.Errorf("serve: execute batch %d", batch)
+	}
+	level = e.clamp(level)
+	agg, err := e.aggFor(level, batch)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	res := BatchResult{
+		TimeMS:  agg.TimeMS / spec.Speedup,
+		EnergyJ: agg.EnergyJ / spec.Speedup,
+		Entropy: e.path[level].Entropy + spec.EntropyDelta,
+	}
+	if e.scaled != nil && inputs != nil && inputs.Dim(0) > 0 {
+		probs, h := e.predictWith(e.quantEngine(p), level, inputs)
+		res.Probs, res.Entropy = probs, h
+	}
+	return res, nil
 }

@@ -137,6 +137,16 @@ type Config struct {
 	// saturation, clock skew). nil — the production default — serves clean
 	// and adds nothing to the hot path.
 	Faults *fault.Injector
+	// Quantize enables the quantization rung of the degradation ladder at
+	// this reduced precision (tensor.Int8 or tensor.FP16): under deadline
+	// pressure escalation switches host GEMMs to it *before* deepening
+	// perforation, and an entropy calibration while quantized vetoes the
+	// rung for the cooldown window. The rung only arms when the executor
+	// implements QuantExecutor for the precision AND the base level's
+	// entropy leaves headroom for the mode's documented EntropyDelta under
+	// the task threshold — otherwise the ladder silently stays
+	// perforation-only. The zero value (tensor.FP32) disables it.
+	Quantize tensor.Precision
 }
 
 func (c Config) withDefaults(execMaxBatch int) Config {
@@ -181,6 +191,9 @@ type Result struct {
 	ID    uint64
 	Batch int // how many requests shared the executed batch
 	Level int // degradation level the batch ran at
+	// Quantized reports that the batch's host GEMMs ran at the configured
+	// reduced precision (the ladder's quantization rung).
+	Quantized bool
 
 	QueueMS    float64 // measured wall-clock wait until execution started
 	ExecMS     float64 // simulated batch execution time
@@ -235,6 +248,7 @@ type request struct {
 type batchJob struct {
 	reqs  []*request
 	level int
+	quant bool // execute at the configured reduced precision
 }
 
 // Server is the online serving engine for one (network, device, task)
@@ -245,6 +259,11 @@ type Server struct {
 	ex   Executor
 	ctrl *controller
 	st   *stats
+
+	// quantEx / quantSpec are set when the quantization rung armed: the
+	// executor's QuantExecutor view and the mode's modeled profile.
+	quantEx   QuantExecutor
+	quantSpec QuantSpec
 
 	reg    *obs.Registry
 	met    *serveMetrics
@@ -304,11 +323,30 @@ func newServer(ex Executor, task satisfaction.Task, cfg Config, timerHook func()
 		return nil, err
 	}
 	cfg = cfg.withDefaults(BatchCap(ex, task))
+	base := baseLevel(ex, task)
+	// The entropy gate on the quantization rung: it arms only when the
+	// executor can actually run the configured precision and the base
+	// level's recorded entropy plus the mode's documented premium still
+	// clears the task threshold. Without that headroom a single quantized
+	// batch would immediately trip calibration, so the ladder stays
+	// perforation-only.
+	var quantEx QuantExecutor
+	var quantSpec QuantSpec
+	if cfg.Quantize != tensor.FP32 && !cfg.DisableDegrade {
+		if qx, ok := ex.(QuantExecutor); ok {
+			if spec, ok := qx.QuantSpec(cfg.Quantize); ok &&
+				ex.Entropy(base)+spec.EntropyDelta <= task.EntropyThreshold {
+				quantEx, quantSpec = qx, spec
+			}
+		}
+	}
 	s := &Server{
 		cfg:           cfg,
 		task:          task,
 		ex:            ex,
-		ctrl:          newController(ex.Levels(), baseLevel(ex, task), cfg.RecoverAfter),
+		ctrl:          newController(ex.Levels(), base, cfg.RecoverAfter, quantEx != nil),
+		quantEx:       quantEx,
+		quantSpec:     quantSpec,
 		st:            newStats(),
 		reg:           obs.NewRegistry(),
 		traces:        obs.NewTraceRing(traceRingCap),
@@ -469,17 +507,27 @@ func (s *Server) SubmitWith(opts SubmitOptions) (*Future, error) {
 	}
 }
 
+// predictMS prices one batch at an operating point: the executor's Eq 12
+// estimate, through the quantized model when the quant rung serves the
+// flush.
+func (s *Server) predictMS(level int, quant bool, batch int) float64 {
+	if quant && s.quantEx != nil {
+		return s.quantEx.PredictQuantMS(s.cfg.Quantize, level, batch)
+	}
+	return s.ex.PredictMS(level, batch)
+}
+
 // predictQueueMS estimates how long a request submitted right now would
-// take to complete at a level: any externally-declared worker occupancy,
-// plus the accepted-but-unresolved backlog grouped into MaxBatch-sized
-// batches spread across the worker pool, plus the request's own batch. It
-// costs two Eq 12 evaluations and one lock.
-func (s *Server) predictQueueMS(level int) float64 {
+// take to complete at an operating point: any externally-declared worker
+// occupancy, plus the accepted-but-unresolved backlog grouped into
+// MaxBatch-sized batches spread across the worker pool, plus the
+// request's own batch. It costs two Eq 12 evaluations and one lock.
+func (s *Server) predictQueueMS(level int, quant bool) float64 {
 	depth := s.st.queueDepth()
 	ahead := float64(depth/s.cfg.MaxBatch) *
-		s.ex.PredictMS(level, s.cfg.MaxBatch) / float64(s.cfg.Workers)
+		s.predictMS(level, quant, s.cfg.MaxBatch) / float64(s.cfg.Workers)
 	own := depth%s.cfg.MaxBatch + 1
-	return s.busyMS() + ahead + s.ex.PredictMS(level, own)
+	return s.busyMS() + ahead + s.predictMS(level, quant, own)
 }
 
 // SetBusyUntil declares worker occupancy the server cannot observe
@@ -510,7 +558,7 @@ func (s *Server) busyMS() float64 {
 // submitted now at the current degradation level — the routing signal a
 // fleet load balancer compares across replicas (and hedges on).
 func (s *Server) PredictCompletionMS() float64 {
-	return s.predictQueueMS(s.ctrl.Level())
+	return s.predictQueueMS(s.ctrl.Level(), s.ctrl.Quant())
 }
 
 // Prediction is the serving-side prediction state one replica exports to
@@ -531,6 +579,9 @@ type Prediction struct {
 	// Level / BaseLevel are the current and preferred perforation levels.
 	Level     int `json:"level"`
 	BaseLevel int `json:"base_level"`
+	// Quantized reports that the quantization rung is currently serving
+	// (host GEMMs at reduced precision).
+	Quantized bool `json:"quantized,omitempty"`
 	// QueueDepth counts accepted-but-unresolved requests.
 	QueueDepth int `json:"queue_depth"`
 	// BusyMS is the declared worker-occupancy horizon remaining (see
@@ -544,17 +595,19 @@ type Prediction struct {
 // prices executing that batch size at the current level.
 func (s *Server) Predict(batch int) Prediction {
 	level := s.ctrl.Level()
+	quant := s.ctrl.Quant()
 	p := Prediction{
-		PredictMS:   s.predictQueueMS(level),
+		PredictMS:   s.predictQueueMS(level, quant),
 		CapacityRPS: s.CapacityRPS(),
 		Level:       level,
 		BaseLevel:   s.ctrl.Base(),
+		Quantized:   quant,
 		QueueDepth:  s.st.queueDepth(),
 		BusyMS:      s.busyMS(),
 		MaxBatch:    s.cfg.MaxBatch,
 	}
 	if batch > 0 {
-		p.BatchMS = s.ex.PredictMS(level, batch)
+		p.BatchMS = s.predictMS(level, quant, batch)
 	}
 	return p
 }
@@ -567,11 +620,11 @@ func (s *Server) Predict(batch int) Prediction {
 // admit requests the controller then refuses to save. With degradation
 // disabled the pinned level is the only one available.
 func (s *Server) admitPredictMS() float64 {
-	level := s.ctrl.reachable()
+	level, quant := s.ctrl.reachable()
 	if s.cfg.DisableDegrade {
-		level = s.ctrl.Level()
+		level, quant = s.ctrl.Level(), false
 	}
-	return s.predictQueueMS(level)
+	return s.predictQueueMS(level, quant)
 }
 
 // CapacityRPS is the replica's steady-state serving capacity at its base
@@ -683,8 +736,12 @@ func (s *Server) Close(ctx context.Context) error {
 // every snapshot, concurrent traffic included.
 func (s *Server) Stats() Snapshot {
 	esc, cal, rec := s.ctrl.counts()
+	qesc, qcal := s.ctrl.quantCounts()
 	st, trips, resets := s.brk.snapshot()
-	return s.st.snapshot(s.task, s.ctrl.Level(), esc, cal, rec, st, trips, resets)
+	snap := s.st.snapshot(s.task, s.ctrl.Level(), esc, cal, rec, st, trips, resets)
+	snap.Quantized = s.ctrl.Quant()
+	snap.QuantEscalations, snap.QuantCalibrations = qesc, qcal
+	return snap
 }
 
 // BatchCount returns how many batches the server has executed. Unlike
@@ -712,6 +769,9 @@ type Health struct {
 	// Level / BaseLevel are the current and preferred perforation levels.
 	Level     int `json:"level"`
 	BaseLevel int `json:"base_level"`
+	// Quantized reports the quantization rung is serving; like an
+	// escalated level it marks the server degraded.
+	Quantized bool `json:"quantized,omitempty"`
 	// QueueDepth is how many accepted requests await execution.
 	QueueDepth int `json:"queue_depth"`
 	// Reasons lists why the server is not "ok"; empty when healthy.
@@ -726,6 +786,7 @@ func (s *Server) Health() Health {
 		Breaker:    st.String(),
 		Level:      s.ctrl.Level(),
 		BaseLevel:  s.ctrl.Base(),
+		Quantized:  s.ctrl.Quant(),
 		QueueDepth: s.st.queueDepth(),
 	}
 	s.mu.RLock()
@@ -744,6 +805,9 @@ func (s *Server) Health() Health {
 		if h.Level > h.BaseLevel {
 			h.Reasons = append(h.Reasons, "serving above base perforation level")
 		}
+		if h.Quantized {
+			h.Reasons = append(h.Reasons, "serving quantized host GEMM")
+		}
 		if len(h.Reasons) > 0 {
 			h.Status = "degraded"
 			h.Degraded = true
@@ -761,6 +825,10 @@ func (s *Server) Task() satisfaction.Task { return s.task }
 
 // Level returns the current degradation level (0 = unperforated).
 func (s *Server) Level() int { return s.ctrl.Level() }
+
+// Quantized reports whether the quantization rung is currently serving
+// (host GEMMs at the configured reduced precision).
+func (s *Server) Quantized() bool { return s.ctrl.Quant() }
 
 // MaxBatch returns the effective batch cap the server coalesces to, after
 // defaulting: the configured cap, or the deadline-aware BatchCap when the

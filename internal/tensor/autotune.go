@@ -50,13 +50,19 @@ func pow2Ceil(v int) int {
 }
 
 // tileCandidates is the probe grid: every built-in micro-kernel crossed
-// with L2-scale MC and L1-scale KC choices. 3×3×3 = 27 candidates; each
+// with L2-scale MC and L1-scale KC choices. 4×3×3 = 36 candidates; each
 // probe is clipped to probeM/K/N, so a full grid costs well under a
-// second.
-func tileCandidates() []TileConfig {
+// second. Multi-worker probes add MC=32 — smaller blocks make more work
+// items, which is what lets a sharded GEMM balance across the pool — so
+// the grid has a workers dimension just as the shape class does.
+func tileCandidates(workers int) []TileConfig {
+	mcs := []int{64, 128, 256}
+	if workers > 1 {
+		mcs = []int{32, 64, 128, 256}
+	}
 	var cands []TileConfig
 	for _, mk := range MicroKernels() {
-		for _, mc := range []int{64, 128, 256} {
+		for _, mc := range mcs {
 			for _, kc := range []int{128, 256, 512} {
 				cands = append(cands, TileConfig{MC: mc, KC: kc, MR: mk[0], NR: mk[1]})
 			}
@@ -178,22 +184,25 @@ func (tu *tuner) lookup(cl ShapeClass) (TileConfig, bool) {
 // caches (and persists) the winner. Concurrent callers for the same class
 // serialise on the mutex; the losers find the cache filled and skip the
 // probe.
-func (tu *tuner) tune(cl ShapeClass, m, k, n int) TileConfig {
+func (tu *tuner) tune(cl ShapeClass, m, k, n int, pool *workerPool) TileConfig {
 	tu.mu.Lock()
 	defer tu.mu.Unlock()
 	if t, ok := tu.cache[cl]; ok {
 		return t
 	}
-	t := probeTiles(m, k, n)
+	t := probeTiles(m, k, n, pool, cl.Workers)
 	tu.cache[cl] = t
 	tu.persistLocked()
 	return t
 }
 
-// probeTiles times every candidate on the (clipped) shape serially and
-// returns the fastest. Serial probing ranks the micro-kernel and cache
-// blocking; the parallel path reuses the same per-block work.
-func probeTiles(m, k, n int) TileConfig {
+// probeTiles times every candidate on the (clipped) shape through the
+// same execution path the engine will use — serial for a single worker,
+// sharded across the pool otherwise — and returns the fastest, so a
+// multi-worker class is ranked on its sharded behaviour (dispatch
+// overhead and all) rather than on serial cache behaviour alone.
+func probeTiles(m, k, n int, pool *workerPool, workers int) TileConfig {
+	parallel := workers > 1 && pool != nil
 	if m > probeM {
 		m = probeM
 	}
@@ -223,14 +232,14 @@ func probeTiles(m, k, n int) TileConfig {
 
 	best := DefaultTile
 	bestNS := int64(1<<63 - 1)
-	for _, cand := range tileCandidates() {
+	for _, cand := range tileCandidates(workers) {
 		// One warm-up pass (packs the panels, faults the buffers), then
 		// best-of-two timed passes.
-		blockedGEMM(c.data, a.data, b.data, m, n, k, false, false, cand, nil, false)
+		blockedGEMM(c.data, a.data, b.data, m, n, k, false, false, cand, pool, parallel)
 		var elapsed int64 = 1<<63 - 1
 		for rep := 0; rep < 2; rep++ {
 			start := time.Now()
-			blockedGEMM(c.data, a.data, b.data, m, n, k, false, false, cand, nil, false)
+			blockedGEMM(c.data, a.data, b.data, m, n, k, false, false, cand, pool, parallel)
 			if ns := time.Since(start).Nanoseconds(); ns < elapsed {
 				elapsed = ns
 			}
@@ -256,7 +265,7 @@ func fillProbe(s []float32) {
 // for every shape in the same class. Safe for concurrent use.
 func (e *Engine) TuneShape(m, k, n int) TileConfig {
 	cl := ClassifyShape(m, k, n, e.pool.workers())
-	return globalTuner.tune(cl, m, k, n)
+	return globalTuner.tune(cl, m, k, n, e.pool)
 }
 
 // SetAutotune enables (or disables) lazy per-shape-class probing: with it
@@ -308,7 +317,7 @@ func (e *Engine) tileFor(m, k, n int) TileConfig {
 		if t, ok := globalTuner.lookup(cl); ok {
 			return t
 		}
-		return globalTuner.tune(cl, m, k, n)
+		return globalTuner.tune(cl, m, k, n, e.pool)
 	}
 	return DefaultTile
 }

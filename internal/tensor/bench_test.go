@@ -52,6 +52,38 @@ func BenchmarkGEMMBlocked(b *testing.B) {
 	})
 }
 
+// BenchmarkGEMMBlockedParallel runs the blocked backend with the shared
+// worker pool, so its jc/ic macro-loops shard (MC block × NR panel group)
+// work items across every core. On a multi-core host compare against
+// BenchmarkGEMMBlocked for the macro-loop sharding speedup; on the 1-CPU
+// CI host the pool time-shares one core and the pair instead bounds the
+// sharding dispatch overhead (recorded in BENCH_gemm.json).
+func BenchmarkGEMMBlockedParallel(b *testing.B) {
+	eng := NewEngine(Blocked, 0)
+	b.Run(fmt.Sprintf("tile=%s/workers=%d", eng.Tile(), eng.Workers()), func(b *testing.B) {
+		for _, s := range gemmShapes {
+			b.Run(s.name, func(b *testing.B) { benchGEMM(b, eng, s.m, s.k, s.n) })
+		}
+	})
+}
+
+// BenchmarkGEMMInt8 runs the int8 forward path (per-row/per-column
+// symmetric quantization around the scalar int32 row kernel) on the
+// recorded shapes. It measures the host cost of quantized numerics, not
+// a host speedup: with no SIMD int8 kernel the scalar path cannot beat
+// the AVX2 blocked fp32 kernel here, and the serving rung's throughput
+// factors (compile.Int8GEMMSpeedup) model the paper's dp4a-class GPU
+// parts, where the 4x-narrower operands do pay (see BENCH_gemm.json).
+func BenchmarkGEMMInt8(b *testing.B) {
+	eng := NewEngine(Blocked, 1)
+	eng.SetPrecision(Int8)
+	b.Run(fmt.Sprintf("tile=%s", eng.Tile()), func(b *testing.B) {
+		for _, s := range gemmShapes {
+			b.Run(s.name, func(b *testing.B) { benchGEMM(b, eng, s.m, s.k, s.n) })
+		}
+	})
+}
+
 func BenchmarkGEMMParallel(b *testing.B) {
 	eng := NewEngine(Parallel, 0) // shared pool, sized by GOMAXPROCS
 	b.Run(fmt.Sprintf("workers=%d", eng.Workers()), func(b *testing.B) {

@@ -14,21 +14,26 @@ import (
 // micro-kernel sweeps the packed panels. The loop nest is
 //
 //	for pc over K in KC steps:          (sequential — fixes accumulation order)
-//	    pack B[pc:pc+KC, :] into NR panels
-//	    for ic over M in MC steps:      (sharded across the worker pool)
-//	        pack A[ic:ic+MC, pc:pc+KC] into MR panels
-//	        for jr over N in NR steps:
+//	    pack B[pc:pc+KC, :] into NR panels   (panels sharded across the pool)
+//	    for (ic, jc) work items:        (sharded across the worker pool)
+//	        pack A[ic:ic+MC, pc:pc+KC] into MR panels (per-worker buffer)
+//	        for jr over the item's NR panels:
 //	            for ir over MC in MR steps:
 //	                C[ic+ir.., jr..] ?= micro-kernel(Ap, Bp)
 //
-// Because the K loop is outermost and runs sequentially (a pool barrier per
-// KC step), every output micro-tile receives its KC-panel contributions in
-// ascending pc order no matter how the MC blocks are sharded — which is
-// what makes blocked-serial and blocked-parallel bit-for-bit identical,
-// the same guarantee the row-sharded naive backend gives. Relative to the
-// naive kernel the accumulation *tree* differs (per-panel register sums
-// are added to C once per KC step), so naive-vs-blocked agreement is
-// tolerance-based, not exact.
+// The parallel work unit is a flattened (MC block × NR panel group) item,
+// not just an MC block: conv-lowered GEMMs have small M (the filter
+// count) and huge N (the output plane), so sharding the jc dimension is
+// what actually spreads them across cores. Because the K loop is
+// outermost and runs sequentially (a pool barrier per KC step), every
+// output micro-tile receives its KC-panel contributions in ascending pc
+// order — and each C tile is computed by exactly one micro-kernel call
+// per KC step whatever the item grouping — which is what makes
+// blocked-serial and blocked-parallel bit-for-bit identical regardless of
+// worker count, the same guarantee the row-sharded naive backend gives.
+// Relative to the naive kernel the accumulation *tree* differs (per-panel
+// register sums are added to C once per KC step), so naive-vs-blocked
+// agreement is tolerance-based, not exact.
 
 // TileConfig is one blocked-GEMM cache/register tiling: MC×KC A blocks,
 // and an MR×NR micro-kernel (MR, NR must name a built-in kernel, see
@@ -190,12 +195,21 @@ func packA(dst, a []float32, lda, ic, mc, pc, kc, mr int, aTrans bool) {
 // columns past n. bTrans selects the N×K storage layout of the TransB
 // variant.
 func packB(dst, b []float32, ldb, pc, kc, n, nr int, bTrans bool) {
-	for jr := 0; jr < n; jr += nr {
+	packBRange(dst, b, ldb, pc, kc, n, nr, bTrans, 0, (n+nr-1)/nr)
+}
+
+// packBRange packs NR-column panels [plo, phi) of the kc×n slab — the
+// restriction packB is built from, and the unit the parallel path shards
+// across the pool (panel writes are disjoint, and the packed bytes are a
+// pure function of B, so sharding cannot change them).
+func packBRange(dst, b []float32, ldb, pc, kc, n, nr int, bTrans bool, plo, phi int) {
+	for p := plo; p < phi; p++ {
+		jr := p * nr
 		cols := nr
 		if n-jr < cols {
 			cols = n - jr
 		}
-		panel := dst[(jr/nr)*kc*nr : (jr/nr+1)*kc*nr]
+		panel := dst[p*kc*nr : (p+1)*kc*nr]
 		if bTrans {
 			// B stored N×K: column j of the slab is contiguous in memory.
 			for j := 0; j < cols; j++ {
@@ -224,36 +238,69 @@ func packB(dst, b []float32, ldb, pc, kc, n, nr int, bTrans bool) {
 }
 
 // blockedArgs carries one blocked GEMM through the K-panel loop so the
-// per-MC-block worker body needs no closure captures beyond one pointer.
+// per-work-item worker body needs no closure captures beyond one pointer.
 // Headers are pooled (argsPool) because the parallel path binds a method
 // value to the pointer, which would otherwise heap-allocate the struct on
 // every GEMM — including serial ones.
 type blockedArgs struct {
-	c, a, bp  []float32
-	lda, ldc  int
-	m, n      int
-	pc, kc    int
-	first     bool
-	aTrans    bool
-	tile      TileConfig
-	kern      microKernel
-	apPerBlk  int // packed-A floats needed per MC block
+	c, a, b, bp []float32
+	lda, ldb    int
+	ldc         int
+	m, n        int
+	pc, kc      int
+	first       bool
+	aTrans      bool
+	bTrans      bool
+	tile        TileConfig
+	kern        microKernel
+	apPerBlk    int // packed-A floats needed per MC block
+	nGroups     int // NR-panel groups per MC block (work-item minor axis)
+	groupCols   int // C columns per panel group (multiple of NR)
+	fused       bool       // pack B straight from an image plane
+	geom        Im2colGeom // fused-path geometry (b holds the image)
 }
 
-// runBlocks packs and multiplies MC blocks [lo, hi). Each invocation owns
-// its packed-A buffer; the packed-B slab is shared read-only.
-func (g *blockedArgs) runBlocks(lo, hi int) {
+// packPanels packs NR panels [lo, hi) of the current KC×N slab of B —
+// from the stored matrix, or straight from the image plane on the fused
+// im2col path. It is the unit the parallel path hands to parallelFor so
+// packing overlaps across workers before the compute sweep.
+func (g *blockedArgs) packPanels(lo, hi int) {
+	if g.fused {
+		packBIm2col(g.bp, g.b, g.geom, g.pc, g.kc, g.tile.NR, lo, hi)
+		return
+	}
+	packBRange(g.bp, g.b, g.ldb, g.pc, g.kc, g.n, g.tile.NR, g.bTrans, lo, hi)
+}
+
+// runItems packs and multiplies flattened (MC block × NR panel group) work
+// items [lo, hi); item = block*nGroups + group. Each invocation owns one
+// pooled packed-A buffer and packs a block's A panels lazily on first
+// entering the block, so a chunk spanning several blocks packs each once
+// and parallel chunks that split a block pay at most one redundant pack
+// per chunk. The packed-B slab is shared read-only.
+func (g *blockedArgs) runItems(lo, hi int) {
 	mc, mr, nr := g.tile.MC, g.tile.MR, g.tile.NR
 	apb := getPanel(g.apPerBlk)
 	ap := apb.data
-	for blk := lo; blk < hi; blk++ {
+	lastBlk := -1
+	mcur := 0
+	for item := lo; item < hi; item++ {
+		blk := item / g.nGroups
 		ic := blk * mc
-		mcur := mc
-		if g.m-ic < mcur {
-			mcur = g.m - ic
+		if blk != lastBlk {
+			mcur = mc
+			if g.m-ic < mcur {
+				mcur = g.m - ic
+			}
+			packA(ap, g.a, g.lda, ic, mcur, g.pc, g.kc, mr, g.aTrans)
+			lastBlk = blk
 		}
-		packA(ap, g.a, g.lda, ic, mcur, g.pc, g.kc, mr, g.aTrans)
-		for jr := 0; jr < g.n; jr += nr {
+		jlo := (item % g.nGroups) * g.groupCols
+		jhi := jlo + g.groupCols
+		if jhi > g.n {
+			jhi = g.n
+		}
+		for jr := jlo; jr < jhi; jr += nr {
 			ncur := nr
 			if g.n-jr < ncur {
 				ncur = g.n - jr
@@ -282,10 +329,23 @@ func (g *blockedArgs) runBlocks(lo, hi int) {
 }
 
 // blockedGEMM runs one cache-blocked GEMM. pool may be nil (serial);
-// parallel shards MC blocks across it with a barrier per KC step, which
-// preserves the per-tile accumulation order and hence bit-for-bit
-// serial/parallel equivalence.
+// parallel shards flattened (MC block × NR panel group) work items across
+// it with a barrier per KC step, which preserves the per-tile accumulation
+// order and hence bit-for-bit serial/parallel equivalence at any worker
+// count. Pack-B is sharded by panel over the same pool (disjoint writes).
 func blockedGEMM(c, a, b []float32, m, n, k int, aTrans, bTrans bool, t TileConfig, pool *workerPool, parallel bool) {
+	blockedGEMMPack(c, a, b, m, n, k, aTrans, bTrans, false, Im2colGeom{}, t, pool, parallel)
+}
+
+// blockedGEMMIm2col is blockedGEMM with B read through the fused im2col
+// packer: x is the C×H×W image plane and geom its implicit column-matrix
+// geometry. Identical packed bytes → identical results to materializing
+// the column matrix and calling blockedGEMM.
+func blockedGEMMIm2col(c, a, x []float32, m int, geom Im2colGeom, t TileConfig, pool *workerPool, parallel bool) {
+	blockedGEMMPack(c, a, x, m, geom.Cols(), geom.Rows(), false, false, true, geom, t, pool, parallel)
+}
+
+func blockedGEMMPack(c, a, b []float32, m, n, k int, aTrans, bTrans, fused bool, geom Im2colGeom, t TileConfig, pool *workerPool, parallel bool) {
 	if m == 0 || n == 0 {
 		return
 	}
@@ -316,20 +376,45 @@ func blockedGEMM(c, a, b []float32, m, n, k int, aTrans, bTrans bool, t TileConf
 	nPanelsA := (mc0 + t.MR - 1) / t.MR
 	nBlocks := (m + t.MC - 1) / t.MC
 
+	// Work-item grouping: conv-lowered shapes have few MC blocks (M = the
+	// filter count) but hundreds of NR panels, so the panel space is split
+	// into groups until the flattened item count gives every worker a few
+	// items to balance on. The grouping affects scheduling only — each C
+	// tile is computed by exactly one micro-kernel call per KC step either
+	// way — so results are independent of the worker count.
+	nGroups, groupPanels := 1, nPanelsB
+	if parallel && pool != nil {
+		if w := pool.workers(); w > 1 {
+			want := (4*w + nBlocks - 1) / nBlocks // groups so items ≥ 4·workers
+			if want > nPanelsB {
+				want = nPanelsB
+			}
+			if want > 1 {
+				groupPanels = (nPanelsB + want - 1) / want
+				nGroups = (nPanelsB + groupPanels - 1) / groupPanels
+			}
+		}
+	}
+	nItems := nBlocks * nGroups
+
 	bpb := getPanel(kc0 * nPanelsB * t.NR)
 	g, _ := argsPool.Get().(*blockedArgs)
 	if g == nil {
 		g = &blockedArgs{}
 	}
 	*g = blockedArgs{
-		c: c, a: a, bp: bpb.data,
-		lda: lda, ldc: n, m: m, n: n,
-		aTrans: aTrans, tile: t, kern: kern,
-		apPerBlk: kc0 * nPanelsA * t.MR,
+		c: c, a: a, b: b, bp: bpb.data,
+		lda: lda, ldb: ldb, ldc: n, m: m, n: n,
+		aTrans: aTrans, bTrans: bTrans, tile: t, kern: kern,
+		apPerBlk:  kc0 * nPanelsA * t.MR,
+		nGroups:   nGroups,
+		groupCols: groupPanels * t.NR,
+		fused:     fused, geom: geom,
 	}
-	var parFn func(lo, hi int)
-	if parallel && pool != nil && nBlocks > 1 {
-		parFn = g.runBlocks // one binding for the whole K loop
+	var itemsFn, packFn func(lo, hi int)
+	if parallel && pool != nil && nItems > 1 {
+		itemsFn = g.runItems // one binding for the whole K loop
+		packFn = g.packPanels
 	}
 	for pc := 0; pc < k; pc += t.KC {
 		g.pc = pc
@@ -337,12 +422,13 @@ func blockedGEMM(c, a, b []float32, m, n, k int, aTrans, bTrans bool, t TileConf
 		if k-pc < g.kc {
 			g.kc = k - pc
 		}
-		packB(bpb.data, b, ldb, pc, g.kc, n, t.NR, bTrans)
 		g.first = pc == 0
-		if parFn != nil {
-			pool.parallelFor(nBlocks, parFn)
+		if itemsFn != nil {
+			pool.parallelFor(nPanelsB, packFn)
+			pool.parallelFor(nItems, itemsFn)
 		} else {
-			g.runBlocks(0, nBlocks)
+			g.packPanels(0, nPanelsB)
+			g.runItems(0, nItems)
 		}
 	}
 	*g = blockedArgs{} // drop the operand references before pooling

@@ -149,6 +149,45 @@ func TestBlockedRandomShapes(t *testing.T) {
 	}
 }
 
+// TestBlockedParallelWorkerCountInvariance pins the (MC block × NR panel
+// group) sharding contract: the result must be bit-for-bit identical at
+// every worker count — including the conv-lowered regime where M fits in
+// one MC block and all parallelism comes from the panel-group axis, and
+// the M == 1 case where only the N dimension can shard at all.
+func TestBlockedParallelWorkerCountInvariance(t *testing.T) {
+	shapes := [][3]int{
+		{8, 40, 123}, // one MC block: panel groups are the only shard axis
+		{23, 17, 61}, // several partial blocks × partial panels
+		{1, 50, 90},  // M == 1: N-only parallelism
+	}
+	for si, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		rng := rand.New(rand.NewSource(int64(900 + si)))
+		a, b := randTensor(rng, m, k), randTensor(rng, k, n)
+		serial := NewEngine(Blocked, 1)
+		if err := serial.SetTile(testTile); err != nil {
+			t.Fatal(err)
+		}
+		ref := New(m, n)
+		serial.MatMulInto(ref, a, b)
+		for _, w := range []int{2, 3, 4, 7} {
+			e := NewEngine(Blocked, w)
+			e.SetParallelThreshold(0)
+			if err := e.SetTile(testTile); err != nil {
+				t.Fatal(err)
+			}
+			got := New(m, n)
+			for i := range got.Data {
+				got.Data[i] = -1
+			}
+			e.MatMulInto(got, a, b)
+			if !bitIdentical(got, ref) {
+				t.Fatalf("%dx%dx%d: %d-worker blocked GEMM diverges bit-for-bit from serial", m, k, n, w)
+			}
+		}
+	}
+}
+
 // TestBlockedFullyOverwritesOutput guards the Into contract on pooled
 // scratch: whatever garbage the buffer holds must be gone afterwards.
 func TestBlockedFullyOverwritesOutput(t *testing.T) {

@@ -1,0 +1,169 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// geomFrom maps raw fuzz bytes onto a valid conv geometry: channels,
+// spatial extent, filter size, stride and pad are clamped so the output
+// extent is positive, and HO/WO are derived from the conv arithmetic
+// (the only consistent values Validate accepts).
+func geomFrom(c8, hw8, k8, s8, p8 uint8) (Im2colGeom, bool) {
+	c := 1 + int(c8)%4
+	h := 1 + int(hw8)%14
+	w := 1 + int(hw8>>4)%14
+	k := 1 + int(k8)%5
+	stride := 1 + int(s8)%3
+	pad := int(p8) % 3
+	if h+2*pad < k || w+2*pad < k {
+		return Im2colGeom{}, false
+	}
+	g := Im2colGeom{
+		C: c, H: h, W: w, K: k, Stride: stride, Pad: pad,
+		HO: (h+2*pad-k)/stride + 1,
+		WO: (w+2*pad-k)/stride + 1,
+	}
+	return g, g.Validate() == nil
+}
+
+// checkFusedShape runs one (geometry, filter count) case through the
+// fused path on blocked-serial and blocked-parallel engines and asserts
+// both are bit-identical to the two-step im2col + blocked GEMM reference.
+func checkFusedShape(t *testing.T, g Im2colGeom, m int, seed int64, tile TileConfig) {
+	t.Helper()
+	_, bs, bp := blockedEngines()
+	if err := bs.SetTile(tile); err != nil {
+		t.Fatal(err)
+	}
+	if err := bp.SetTile(tile); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	k, n := g.Rows(), g.Cols()
+	a := randTensor(rng, m, k)
+	x := randTensor(rng, g.C, g.H, g.W)
+
+	// Two-step reference: materialize the column matrix, then the same
+	// blocked GEMM. Identical packed panels ⇒ the fused result must match
+	// bit-for-bit, not just within tolerance.
+	cols := New(k, n)
+	im2colGeomInto(cols.Data, x.Data, g)
+	want := New(m, n)
+	bs.MatMulInto(want, a, cols)
+
+	for name, e := range map[string]*Engine{"serial": bs, "parallel": bp} {
+		got := New(m, n)
+		for i := range got.Data {
+			got.Data[i] = -999
+		}
+		e.MatMulIm2colInto(got, a, x.Data, g)
+		if !bitIdentical(got, want) {
+			t.Fatalf("fused %s geom %+v m=%d tile %v: diverges bit-for-bit from two-step im2col+packB",
+				name, g, m, tile)
+		}
+	}
+}
+
+// TestFusedPackKnownShapes pins fused-vs-two-step equivalence on real
+// conv geometries: AlexNet conv1 (stride 4), a padded VGG-style 3×3, a
+// 1×1, and a pad-heavy shape where most filter taps hang over the edge.
+func TestFusedPackKnownShapes(t *testing.T) {
+	cases := []struct {
+		g Im2colGeom
+		m int
+	}{
+		{Im2colGeom{C: 3, H: 21, W: 21, K: 5, Stride: 4, Pad: 0, HO: 5, WO: 5}, 8},
+		{Im2colGeom{C: 2, H: 9, W: 9, K: 3, Stride: 1, Pad: 1, HO: 9, WO: 9}, 11},
+		{Im2colGeom{C: 4, H: 6, W: 6, K: 1, Stride: 1, Pad: 0, HO: 6, WO: 6}, 5},
+		{Im2colGeom{C: 1, H: 4, W: 4, K: 3, Stride: 2, Pad: 2, HO: 3, WO: 3}, 3},
+	}
+	for i, c := range cases {
+		if err := c.g.Validate(); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		checkFusedShape(t, c.g, c.m, int64(500+i), testTile)
+		checkFusedShape(t, c.g, c.m, int64(600+i), DefaultTile)
+	}
+}
+
+// TestFusedPackFallbackBackends covers MatMulIm2colInto on non-blocked
+// engines: the materializing fallback must agree with the naive GEMM over
+// the materialized column matrix.
+func TestFusedPackFallbackBackends(t *testing.T) {
+	g := Im2colGeom{C: 2, H: 7, W: 7, K: 3, Stride: 2, Pad: 1, HO: 4, WO: 4}
+	rng := rand.New(rand.NewSource(9))
+	a := randTensor(rng, 6, g.Rows())
+	x := randTensor(rng, g.C, g.H, g.W)
+	cols := New(g.Rows(), g.Cols())
+	im2colGeomInto(cols.Data, x.Data, g)
+	want := New(6, g.Cols())
+	NewEngine(Serial, 1).MatMulInto(want, a, cols)
+	for _, e := range []*Engine{NewEngine(Serial, 1), NewEngine(Parallel, 2), NewEngine(Auto, 1)} {
+		got := New(6, g.Cols())
+		e.MatMulIm2colInto(got, a, x.Data, g)
+		if !bitIdentical(got, want) {
+			t.Fatalf("backend %v fallback diverges from serial reference", e.Backend())
+		}
+	}
+}
+
+// TestFusedPackGeomValidate pins the geometry checks MatMulIm2colInto
+// relies on before indexing the image.
+func TestFusedPackGeomValidate(t *testing.T) {
+	good := Im2colGeom{C: 1, H: 5, W: 5, K: 3, Stride: 2, Pad: 0, HO: 2, WO: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid geometry rejected: %v", err)
+	}
+	bad := []Im2colGeom{
+		{C: 0, H: 5, W: 5, K: 3, Stride: 1, Pad: 0, HO: 3, WO: 3},
+		{C: 1, H: 5, W: 5, K: 3, Stride: 1, Pad: 0, HO: 4, WO: 3}, // HO mismatch
+		{C: 1, H: 5, W: 5, K: 3, Stride: 0, Pad: 0, HO: 3, WO: 3},
+		{C: 1, H: 5, W: 5, K: 3, Stride: 1, Pad: -1, HO: 3, WO: 3},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("bad geometry %d accepted: %+v", i, g)
+		}
+	}
+}
+
+// TestFusedPackZeroAlloc is the steady-state guard for the fused path:
+// after warm-up, a serial blocked MatMulIm2colInto must allocate nothing
+// — no column matrix, and panels from the pooled free list.
+func TestFusedPackZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates")
+	}
+	_, bs, _ := blockedEngines()
+	g := Im2colGeom{C: 3, H: 15, W: 15, K: 3, Stride: 1, Pad: 1, HO: 15, WO: 15}
+	rng := rand.New(rand.NewSource(12))
+	a := randTensor(rng, 16, g.Rows())
+	x := randTensor(rng, g.C, g.H, g.W)
+	c := New(16, g.Cols())
+	run := func() { bs.MatMulIm2colInto(c, a, x.Data, g) }
+	run() // warm the panel pool and the lastTile record
+	if allocs := testing.AllocsPerRun(20, run); allocs != 0 {
+		t.Fatalf("steady-state fused GEMM allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// FuzzFusedPackVsTwoStep fuzzes the fused im2col→pack-B path: any valid
+// (geometry, filter count) must be bit-for-bit identical to materializing
+// the column matrix and running the same blocked GEMM, on both the serial
+// and the sharded engine. The committed corpus under testdata/fuzz pins
+// stride/pad/boundary seeds.
+func FuzzFusedPackVsTwoStep(f *testing.F) {
+	f.Add(uint8(2), uint8(0x97), uint8(2), uint8(0), uint8(1), uint8(9), int64(1))
+	f.Add(uint8(0), uint8(0x55), uint8(4), uint8(1), uint8(2), uint8(3), int64(2))
+	f.Add(uint8(3), uint8(0xDD), uint8(0), uint8(2), uint8(0), uint8(1), int64(3))
+	f.Add(uint8(1), uint8(0x31), uint8(1), uint8(0), uint8(0), uint8(16), int64(4))
+	f.Fuzz(func(t *testing.T, c8, hw8, k8, s8, p8, m8 uint8, seed int64) {
+		g, ok := geomFrom(c8, hw8, k8, s8, p8)
+		if !ok {
+			t.Skip("degenerate geometry")
+		}
+		m := 1 + int(m8)%24
+		checkFusedShape(t, g, m, seed, testTile)
+	})
+}

@@ -1,0 +1,37 @@
+//go:build arm64
+
+package tensor
+
+// The 8×8 micro-kernel on arm64: sixteen 4-float NEON accumulators (two
+// per C-tile row) hold the whole 8×8 tile, so ARMv8 hosts run the
+// assembly kernel in kern8x8_arm64.s. Advanced SIMD is architecturally
+// mandatory on AArch64, so unlike the amd64 CPUID probe there is nothing
+// to detect at init; useNEON8x8 exists as the same test seam useFMA8x8
+// provides, letting tests compare the SIMD and portable kernels on one
+// host.
+
+// kern8x8neon is the NEON kernel in kern8x8_arm64.s. kc must be >= 1.
+//
+//go:noescape
+func kern8x8neon(kc int, ap, bp, c *float32, ldc int, first bool)
+
+// useNEON8x8 gates the assembly path; tests flip it to compare the SIMD
+// and portable kernels on the same host.
+var useNEON8x8 = true
+
+func init() {
+	if useNEON8x8 {
+		// Two quad registers per C-tile row mirror the amd64 YMM layout,
+		// so SIMD hosts default to the same 8×8 tile.
+		DefaultTile = TileConfig{MC: 128, KC: 256, MR: 8, NR: 8}
+	}
+}
+
+// kern8x8 runs the 8×8 tile on the fastest available path.
+func kern8x8(kc int, ap, bp, c []float32, ldc int, first bool) {
+	if useNEON8x8 && kc > 0 {
+		kern8x8neon(kc, &ap[0], &bp[0], &c[0], ldc, first)
+		return
+	}
+	kern8x8go(kc, ap, bp, c, ldc, first)
+}

@@ -1,0 +1,134 @@
+//go:build arm64
+
+#include "textflag.h"
+
+// NEON 8×8 micro-kernel. Sixteen 4-float V-register accumulators hold
+// the full 8×8 C tile (a low/high pair per row); each k step loads one
+// 8-wide packed-B group into two quads, broadcasts the eight packed-A
+// values and issues sixteen fused multiply-adds. The epilogue writes the
+// tile to C once — stores when first, vector adds otherwise — matching
+// the Go kernels' one-pass-per-KC-panel accumulation tree (FMLA rounds
+// once per multiply-add, so agreement with the scalar kernels is
+// tolerance-level, not exact).
+//
+// The assembler has no vector FADD mnemonic, so the accumulate epilogue
+// computes acc += C·1.0 with FMLA against a splatted 1.0: the multiply
+// is exact and the fused add rounds once, which is bit-identical to a
+// plain vector add.
+
+// func kern8x8neon(kc int, ap, bp, c *float32, ldc int, first bool)
+TEXT ·kern8x8neon(SB), NOSPLIT, $0-41
+	MOVD  kc+0(FP), R0
+	MOVD  ap+8(FP), R1
+	MOVD  bp+16(FP), R2
+	MOVD  c+24(FP), R3
+	MOVD  ldc+32(FP), R4
+	MOVBU first+40(FP), R5
+
+	VEOR V0.B16, V0.B16, V0.B16
+	VEOR V1.B16, V1.B16, V1.B16
+	VEOR V2.B16, V2.B16, V2.B16
+	VEOR V3.B16, V3.B16, V3.B16
+	VEOR V4.B16, V4.B16, V4.B16
+	VEOR V5.B16, V5.B16, V5.B16
+	VEOR V6.B16, V6.B16, V6.B16
+	VEOR V7.B16, V7.B16, V7.B16
+	VEOR V8.B16, V8.B16, V8.B16
+	VEOR V9.B16, V9.B16, V9.B16
+	VEOR V10.B16, V10.B16, V10.B16
+	VEOR V11.B16, V11.B16, V11.B16
+	VEOR V12.B16, V12.B16, V12.B16
+	VEOR V13.B16, V13.B16, V13.B16
+	VEOR V14.B16, V14.B16, V14.B16
+	VEOR V15.B16, V15.B16, V15.B16
+
+	LSL $2, R4, R4 // ldc in bytes
+
+loop:
+	VLD1.P 32(R2), [V16.S4, V17.S4] // one packed-B group (8 floats)
+	VLD1.P 32(R1), [V18.S4, V19.S4] // one packed-A group (8 floats)
+
+	VDUP  V18.S[0], V20.S4
+	VFMLA V16.S4, V20.S4, V0.S4
+	VFMLA V17.S4, V20.S4, V1.S4
+	VDUP  V18.S[1], V21.S4
+	VFMLA V16.S4, V21.S4, V2.S4
+	VFMLA V17.S4, V21.S4, V3.S4
+	VDUP  V18.S[2], V20.S4
+	VFMLA V16.S4, V20.S4, V4.S4
+	VFMLA V17.S4, V20.S4, V5.S4
+	VDUP  V18.S[3], V21.S4
+	VFMLA V16.S4, V21.S4, V6.S4
+	VFMLA V17.S4, V21.S4, V7.S4
+	VDUP  V19.S[0], V20.S4
+	VFMLA V16.S4, V20.S4, V8.S4
+	VFMLA V17.S4, V20.S4, V9.S4
+	VDUP  V19.S[1], V21.S4
+	VFMLA V16.S4, V21.S4, V10.S4
+	VFMLA V17.S4, V21.S4, V11.S4
+	VDUP  V19.S[2], V20.S4
+	VFMLA V16.S4, V20.S4, V12.S4
+	VFMLA V17.S4, V20.S4, V13.S4
+	VDUP  V19.S[3], V21.S4
+	VFMLA V16.S4, V21.S4, V14.S4
+	VFMLA V17.S4, V21.S4, V15.S4
+
+	SUB  $1, R0, R0
+	CBNZ R0, loop
+
+	CBZ R5, acc
+
+store:
+	VST1 [V0.S4, V1.S4], (R3)
+	ADD  R4, R3, R3
+	VST1 [V2.S4, V3.S4], (R3)
+	ADD  R4, R3, R3
+	VST1 [V4.S4, V5.S4], (R3)
+	ADD  R4, R3, R3
+	VST1 [V6.S4, V7.S4], (R3)
+	ADD  R4, R3, R3
+	VST1 [V8.S4, V9.S4], (R3)
+	ADD  R4, R3, R3
+	VST1 [V10.S4, V11.S4], (R3)
+	ADD  R4, R3, R3
+	VST1 [V12.S4, V13.S4], (R3)
+	ADD  R4, R3, R3
+	VST1 [V14.S4, V15.S4], (R3)
+	RET
+
+acc:
+	FMOVS $1.0, F22
+	VDUP  V22.S[0], V22.S4
+	MOVD  R3, R6
+	VLD1  (R6), [V16.S4, V17.S4]
+	VFMLA V16.S4, V22.S4, V0.S4
+	VFMLA V17.S4, V22.S4, V1.S4
+	ADD   R4, R6, R6
+	VLD1  (R6), [V16.S4, V17.S4]
+	VFMLA V16.S4, V22.S4, V2.S4
+	VFMLA V17.S4, V22.S4, V3.S4
+	ADD   R4, R6, R6
+	VLD1  (R6), [V16.S4, V17.S4]
+	VFMLA V16.S4, V22.S4, V4.S4
+	VFMLA V17.S4, V22.S4, V5.S4
+	ADD   R4, R6, R6
+	VLD1  (R6), [V16.S4, V17.S4]
+	VFMLA V16.S4, V22.S4, V6.S4
+	VFMLA V17.S4, V22.S4, V7.S4
+	ADD   R4, R6, R6
+	VLD1  (R6), [V16.S4, V17.S4]
+	VFMLA V16.S4, V22.S4, V8.S4
+	VFMLA V17.S4, V22.S4, V9.S4
+	ADD   R4, R6, R6
+	VLD1  (R6), [V16.S4, V17.S4]
+	VFMLA V16.S4, V22.S4, V10.S4
+	VFMLA V17.S4, V22.S4, V11.S4
+	ADD   R4, R6, R6
+	VLD1  (R6), [V16.S4, V17.S4]
+	VFMLA V16.S4, V22.S4, V12.S4
+	VFMLA V17.S4, V22.S4, V13.S4
+	ADD   R4, R6, R6
+	VLD1  (R6), [V16.S4, V17.S4]
+	VFMLA V16.S4, V22.S4, V14.S4
+	VFMLA V17.S4, V22.S4, V15.S4
+	JMP   store

@@ -72,7 +72,23 @@ func (e *Engine) matMulInto(op string, c, a, b *Tensor) {
 	requireInner(op, a.Dim(1), b.Dim(0))
 	m, k, n := a.Dim(0), a.Dim(1), b.Dim(1)
 	requireOut(op, c, m, n)
-	cd, ad, bd := c.Data, a.Data, b.Data
+	// The precision axis applies to the forward product only; the
+	// transposed forms below stay fp32 (they serve backward passes).
+	switch e.Precision() {
+	case Int8:
+		e.matMulInt8(c.Data, a.Data, b.Data, m, k, n)
+		return
+	case FP16:
+		e.matMulFP16(c, a, b, m, k, n)
+		return
+	}
+	e.matMulFP32(c.Data, a.Data, b.Data, m, k, n)
+}
+
+// matMulFP32 is the full-precision forward product — the path every
+// engine ran before the precision axis, and the core the FP16 mode
+// reuses on its rounded operand copies.
+func (e *Engine) matMulFP32(cd, ad, bd []float32, m, k, n int) {
 	if e.Backend() == Blocked {
 		e.blockedInto(cd, ad, bd, m, n, k, false, false)
 		return

@@ -34,7 +34,8 @@ const (
 	// Parallel always shards rows across the worker pool.
 	Parallel
 	// Blocked runs the cache-blocked packed-panel kernels (blocked.go),
-	// sharding MC row blocks across the pool above the FLOP threshold.
+	// sharding (MC block × NR panel group) work items across the pool
+	// above the FLOP threshold.
 	Blocked
 )
 
@@ -160,6 +161,7 @@ func (p *workerPool) parallelFor(n int, fn func(lo, hi int)) {
 type Engine struct {
 	backend   atomic.Int32
 	threshold atomic.Int64
+	precision atomic.Int32
 	pool      *workerPool
 
 	// Blocked-backend state: an explicitly pinned tile, the tile the most
@@ -190,6 +192,7 @@ func NewEngine(b Backend, workers int) *Engine {
 //	PCNN_GEMM_BACKEND     auto | serial | parallel | blocked  (default auto)
 //	PCNN_GEMM_WORKERS     worker-pool size                    (default GOMAXPROCS)
 //	PCNN_GEMM_THRESHOLD   min FLOPs for Auto/Blocked to go parallel
+//	PCNN_GEMM_PRECISION   fp32 | fp16 | int8 forward-GEMM precision
 //	PCNN_GEMM_TUNE        1/on = lazy per-shape-class tile autotuning
 //	PCNN_GEMM_TILE        pinned blocked tile, MCxKCxMRxNR
 //	PCNN_GEMM_TUNE_CACHE  JSON file persisting probed tile winners
@@ -215,6 +218,11 @@ func engineFromEnv(getenv func(string) string) *Engine {
 	if s := getenv("PCNN_GEMM_THRESHOLD"); s != "" {
 		if v, err := strconv.ParseInt(s, 10, 64); err == nil && v >= 0 {
 			e.SetParallelThreshold(v)
+		}
+	}
+	if s := getenv("PCNN_GEMM_PRECISION"); s != "" {
+		if p, err := ParsePrecision(s); err == nil {
+			e.SetPrecision(p)
 		}
 	}
 	if s := getenv("PCNN_GEMM_TUNE_CACHE"); s != "" {
@@ -252,15 +260,19 @@ func (e *Engine) ParallelThreshold() int64 { return e.threshold.Load() }
 func (e *Engine) Workers() int { return e.pool.workers() }
 
 // shouldParallel decides the execution strategy for an M×N×K GEMM. For
-// the Blocked backend "parallel" means sharding MC row blocks rather than
-// raw rows, but the threshold logic is the same as Auto's.
+// the Blocked backend "parallel" means sharding (MC block × NR panel
+// group) work items rather than raw rows, so it can go wide even at
+// M == 1 (the N dimension shards); the threshold logic is the same as
+// Auto's.
 func (e *Engine) shouldParallel(m, n, k int) bool {
 	switch e.Backend() {
 	case Serial:
 		return false
 	case Parallel:
 		return m > 1
-	default: // Auto and Blocked
+	case Blocked:
+		return m*n > 1 && GEMMFlops(m, n, k) >= e.ParallelThreshold() && e.pool.workers() > 1
+	default: // Auto
 		return m > 1 && GEMMFlops(m, n, k) >= e.ParallelThreshold() && e.pool.workers() > 1
 	}
 }

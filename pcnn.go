@@ -33,6 +33,7 @@ import (
 	"pcnn/internal/scenario"
 	"pcnn/internal/sched"
 	"pcnn/internal/serve"
+	"pcnn/internal/tensor"
 )
 
 // Re-exported types. Aliases keep the internal packages private while
@@ -168,7 +169,29 @@ type (
 	// FleetModelPrediction is the fleet daemon's GET /predict wire payload:
 	// the best replica's Eq 12 forecast with fleet-aggregated capacity.
 	FleetModelPrediction = fleet.ModelPrediction
+	// Precision selects the host GEMM number format (fp32, fp16-storage
+	// or symmetric int8) — the quantization rung of the serving
+	// degradation ladder.
+	Precision = tensor.Precision
+	// UnknownPrecisionError reports an unrecognized precision name, so
+	// ParsePrecision failures are distinguishable with errors.As — the
+	// same pattern as UnknownPlatformError and UnknownNetworkError.
+	UnknownPrecisionError = tensor.UnknownPrecisionError
 )
+
+// Host GEMM precisions.
+const (
+	// PrecisionFP32 is full single precision, the default.
+	PrecisionFP32 = tensor.FP32
+	// PrecisionFP16 rounds GEMM operands through IEEE half storage.
+	PrecisionFP16 = tensor.FP16
+	// PrecisionInt8 runs forward GEMMs in symmetric 8-bit integers.
+	PrecisionInt8 = tensor.Int8
+)
+
+// ParsePrecision converts a precision name ("fp32", "fp16", "int8") to
+// a Precision; unknown names yield an *UnknownPrecisionError.
+func ParsePrecision(s string) (Precision, error) { return tensor.ParsePrecision(s) }
 
 // Fleet fallback policies.
 const (

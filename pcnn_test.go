@@ -3,6 +3,7 @@ package pcnn
 import (
 	"context"
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 )
@@ -105,6 +106,39 @@ func TestUnknownErrorsDistinguishable(t *testing.T) {
 	}
 	if errors.As(err, &netErr) {
 		t.Errorf("platform error also matches *UnknownNetworkError")
+	}
+}
+
+// TestParsePrecisionErrorsBothWays: the re-exported precision error is
+// the same type seen through either name — errors.As matches it as
+// *pcnn.UnknownPrecisionError and as the tensor package's type alias
+// target, and it stays distinguishable from the other Unknown*Errors.
+func TestParsePrecisionErrorsBothWays(t *testing.T) {
+	if p, err := ParsePrecision("int8"); err != nil || p != PrecisionInt8 {
+		t.Fatalf("ParsePrecision(int8) = %v, %v", p, err)
+	}
+	_, err := ParsePrecision("fp12")
+	if err == nil {
+		t.Fatal("unknown precision accepted")
+	}
+	var precErr *UnknownPrecisionError
+	if !errors.As(err, &precErr) {
+		t.Fatalf("error %T (%v) is not *UnknownPrecisionError", err, err)
+	}
+	if precErr.Name != "fp12" {
+		t.Errorf("Name = %q, want fp12", precErr.Name)
+	}
+	var netErr *UnknownNetworkError
+	var platErr *UnknownPlatformError
+	if errors.As(err, &netErr) || errors.As(err, &platErr) {
+		t.Errorf("precision error also matches a network/platform error type")
+	}
+	// The reverse direction: a value constructed as the public type is
+	// matched by code holding the internal alias target.
+	wrapped := fmt.Errorf("flag -precision: %w", &UnknownPrecisionError{Name: "bf16"})
+	precErr = nil
+	if !errors.As(wrapped, &precErr) || precErr.Name != "bf16" {
+		t.Fatalf("wrapped public error not recovered: %v", wrapped)
 	}
 }
 
